@@ -1,0 +1,42 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series, so the qualitative comparison with the paper
+can be read straight from the benchmark output.
+
+The experiments default to a reduced job count so the whole harness runs in a
+few minutes; set ``REPRO_BENCH_JOBS=300`` (the paper's size) for full-scale
+runs and ``REPRO_BENCH_SEED`` to change the seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_jobs(default: int = 120) -> int:
+    """Number of jobs per workload used by the benchmark experiments."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+def bench_seed() -> int:
+    """Root seed used by the benchmark experiments."""
+    return int(os.environ.get("REPRO_BENCH_SEED", 0))
+
+
+@pytest.fixture(scope="session")
+def figure7_results():
+    """The four Figure 7 runs, shared by all Figure 7 panel benchmarks."""
+    from repro.experiments import run_figure7
+
+    return run_figure7(job_count=bench_jobs(), seed=bench_seed())
+
+
+@pytest.fixture(scope="session")
+def figure8_results():
+    """The four Figure 8 runs, shared by all Figure 8 panel benchmarks."""
+    from repro.experiments import run_figure8
+
+    return run_figure8(job_count=bench_jobs(), seed=bench_seed())

@@ -1,0 +1,31 @@
+"""Figure 6 — execution times of FT and GADGET-2 versus the number of machines.
+
+Regenerates the two scaling curves from the calibrated application profiles,
+and (as the benchmarked body) measures each point by actually running the
+application model inside the simulator, which is the code path every
+scheduling experiment exercises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure6 import figure6_report, figure6_table, run_figure6
+
+
+def test_bench_figure6_scaling_curves(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_figure6(measured=True), rounds=1, iterations=1
+    )
+    print()
+    print(figure6_report(points))
+
+    table = figure6_table(points)
+    ft, gadget = table["ft"], table["gadget2"]
+    # Anchor points quoted in the paper's text.
+    assert ft[2] == pytest.approx(120.0, rel=0.05)
+    assert gadget[2] == pytest.approx(600.0, rel=0.05)
+    assert min(ft.values()) == pytest.approx(60.0, rel=0.1)
+    assert min(gadget.values()) == pytest.approx(240.0, rel=0.1)
+    # GADGET-2 is roughly 5x slower than FT at equal (small) machine counts.
+    assert 3.0 < gadget[2] / ft[2] < 7.0

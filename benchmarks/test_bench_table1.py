@@ -1,0 +1,35 @@
+"""Table I — the distribution of the nodes over the DAS-3 clusters.
+
+The benchmark builds the simulated DAS-3 and prints the table; the timing
+measures how fast the substrate can be instantiated (relevant because every
+experiment builds a fresh system per run).
+"""
+
+from __future__ import annotations
+
+from repro.cluster import DAS3_CLUSTERS, das3_multicluster
+from repro.metrics import format_table
+from repro.sim import Environment, RandomStreams
+
+
+def build_das3():
+    env = Environment()
+    return das3_multicluster(env, streams=RandomStreams(0))
+
+
+def test_bench_table1_das3_construction(benchmark):
+    system = benchmark(build_das3)
+    rows = [
+        (spec.location, spec.nodes, spec.interconnect)
+        for spec in DAS3_CLUSTERS
+    ]
+    print()
+    print(
+        format_table(
+            ["Cluster location", "Nodes", "Interconnect"],
+            rows,
+            title="Table I - the distribution of the nodes over the DAS clusters",
+        )
+    )
+    assert system.total_processors == 272
+    assert len(system) == 5

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Replay a workload-archive trace (Standard Workload Format) through KOALA.
+
+Grid and parallel workload archives distribute job traces in the Standard
+Workload Format (SWF).  This example shows the "what if these jobs had been
+malleable?" experiment: it takes an SWF trace (a bundled synthetic sample by
+default, or any real archive file you point it at), replays it twice through
+the simulated KOALA scheduler — once with the jobs rigid as recorded, once
+with the same jobs made malleable between 2 processors and their recorded
+request — and compares the outcomes.
+
+Run it with::
+
+    python examples/trace_replay.py                      # bundled sample
+    python examples/trace_replay.py --trace path/to.swf --max-jobs 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+
+from repro.experiments.setup import ExperimentConfig, build_system
+from repro.metrics import ExperimentMetrics, format_table
+from repro.sim import Environment, RandomStreams
+from repro.workloads import SwfReader, WorkloadSubmitter, workload_from_swf
+
+#: A small synthetic SWF sample (job number, submit, wait, runtime, allocated
+#: processors, ..., requested processors, ...) used when no trace is given.
+SAMPLE_TRACE = """\
+; Synthetic sample in Standard Workload Format
+; MaxNodes: 272
+"""
+# Generate a plausible little trace programmatically: 40 jobs, irregular
+# arrivals, sizes 2-24, runtimes 3-20 minutes.
+_sample_lines = []
+_time = 0
+for i in range(1, 41):
+    _time += 60 + (i * 37) % 120
+    size = 2 + (i * 7) % 23
+    runtime = 180 + (i * 53) % 1020
+    _sample_lines.append(
+        f"{i} {_time} -1 {runtime} {size} -1 -1 {size} {runtime} -1 1 1 1 "
+        f"{1 + i % 2} 0 1 -1 -1"
+    )
+SAMPLE_TRACE += "\n".join(_sample_lines) + "\n"
+
+
+def replay(workload, *, label: str, seed: int) -> ExperimentMetrics:
+    """Replay one workload specification through a freshly built system.
+
+    The DAS-3 carries a substantial background load (75% of each cluster), so
+    large rigid jobs often have to wait for enough free processors, while
+    malleable jobs can start right away on 2 and grow ("idle" offer mode)
+    towards their recorded request whenever capacity frees up.
+    """
+    config = ExperimentConfig(
+        name=label,
+        malleability_policy="EGS",
+        approach="PRA",
+        seed=seed,
+        background_fraction=0.75,
+        grow_offer_mode="idle",
+    )
+    env = Environment()
+    streams = RandomStreams(seed=seed)
+    multicluster, scheduler = build_system(config, env, streams)
+    WorkloadSubmitter(env, scheduler, workload)
+    horizon = workload.duration + 100_000
+    env.run(until=horizon)
+    return ExperimentMetrics.from_run(scheduler, multicluster, label=label)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="path to an SWF trace (default: bundled sample)")
+    parser.add_argument("--max-jobs", type=int, default=100, help="cap on replayed jobs")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    reader = SwfReader()
+    if args.trace:
+        records = reader.read(args.trace)
+        source = args.trace
+    else:
+        records = reader.read(io.StringIO(SAMPLE_TRACE))
+        source = "bundled synthetic sample"
+    print(f"Read {len(records)} SWF records from {source}")
+
+    rigid_workload = workload_from_swf(
+        records, name="swf-rigid", malleable=False, max_jobs=args.max_jobs
+    )
+    malleable_workload = workload_from_swf(
+        records, name="swf-malleable", malleable=True, minimum_processors=2,
+        max_jobs=args.max_jobs,
+    )
+
+    rigid = replay(rigid_workload, label="rigid", seed=args.seed)
+    malleable = replay(malleable_workload, label="malleable", seed=args.seed)
+
+    def row(metrics: ExperimentMetrics):
+        summary = metrics.summary()
+        waits = [job.wait_time for job in metrics.jobs]
+        mean_wait = sum(waits) / len(waits) if waits else 0.0
+        return (
+            metrics.label,
+            metrics.job_count,
+            f"{mean_wait:.0f}",
+            f"{summary['mean_execution_time']:.0f}",
+            f"{summary['mean_response_time']:.0f}",
+            f"{summary['mean_average_allocation']:.1f}",
+            int(summary["grow_messages"]),
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "replay",
+                "jobs",
+                "mean wait (s)",
+                "mean exec (s)",
+                "mean response (s)",
+                "avg procs",
+                "grow msgs",
+            ],
+            [row(rigid), row(malleable)],
+            title="Rigid replay vs malleable replay of the same trace (busy DAS-3)",
+        )
+    )
+    print()
+    print("The rigid replay must find each job's full recorded processor count")
+    print("before it can start, so large jobs queue behind the background load;")
+    print("the malleable replay starts every job on 2 processors immediately and")
+    print("grows it towards the recorded request as capacity frees up — shorter")
+    print("waits, at the price of running below the requested size some of the time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs (which require ``bdist_wheel``) are unavailable.
+This ``setup.py`` enables the legacy editable-install code path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Reproduction of "Scheduling Malleable Applications in Multicluster Systems".
+
+Buisson, Sonmez, Mohamed, Lammers and Epema (IEEE Cluster 2007) added support
+for *malleable* parallel applications — applications that can grow and shrink
+their processor allocation while running — to the KOALA multicluster grid
+scheduler, using the DYNACO adaptability framework on the application side,
+and evaluated two job-management approaches (PRA, PWA) combined with two
+malleability-management policies (FPSMA, EGS) on the DAS-3 testbed.
+
+This package reproduces that system end to end on a discrete-event simulated
+DAS-3:
+
+* :mod:`repro.sim` — the discrete-event simulation kernel;
+* :mod:`repro.cluster` — the multicluster substrate (clusters, SGE-like local
+  resource managers, GRAM endpoints, background load, network);
+* :mod:`repro.apps` — the application models (NAS FT, GADGET-2, speedup and
+  reconfiguration-cost models);
+* :mod:`repro.dynaco` — the DYNACO observe/decide/plan/execute control loop
+  and the AFPAC executor;
+* :mod:`repro.koala` — the KOALA scheduler (placement policies, placement
+  queue, information service, runners, MRunner);
+* :mod:`repro.malleability` — the malleability manager, the PRA/PWA
+  approaches and the FPSMA/EGS policies (plus equipartition/folding
+  baselines);
+* :mod:`repro.workloads` — the paper's workloads and SWF trace support;
+* :mod:`repro.metrics` — CDFs, utilization and activity metrics;
+* :mod:`repro.experiments` — drivers regenerating every figure of the
+  evaluation plus ablation studies.
+
+Quickstart
+----------
+>>> from repro.experiments import ExperimentConfig, run_experiment
+>>> result = run_experiment(ExperimentConfig(workload="Wm", job_count=20,
+...                                          malleability_policy="EGS", approach="PRA"))
+>>> result.metrics.job_count
+20
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

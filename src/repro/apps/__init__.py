@@ -1,0 +1,77 @@
+"""Application models.
+
+The paper evaluates its scheduling policies with two real parallel
+applications that were made malleable with DYNACO/AFPAC:
+
+* the NAS Parallel Benchmark **FT** (a 3-D FFT kernel) — runs only on a
+  power-of-two number of processors, takes about 2 minutes on 2 processors
+  and about 1 minute at best (Figure 6);
+* **GADGET-2** (a cosmological n-body simulator) — runs on an arbitrary
+  number of processors thanks to its internal load balancer, takes about
+  10 minutes on 2 processors and about 4 minutes at best (Figure 6).
+
+This package models applications by their *speedup curve* (how execution
+time scales with the number of processors), their *size constraints* (which
+processor counts they accept), and their *reconfiguration cost* (the
+overhead of a grow or shrink operation).  The
+:class:`~repro.apps.runtime.RunningApplication` class turns a profile into a
+simulated execution whose remaining work depletes at a rate determined by the
+current allocation, exactly the quantity the evaluation metrics depend on.
+"""
+
+from repro.apps.speedup import (
+    AmdahlSpeedup,
+    DowneySpeedup,
+    PowerLawSpeedup,
+    SpeedupModel,
+    TabulatedSpeedup,
+)
+from repro.apps.constraints import (
+    AnySize,
+    CompositeConstraint,
+    MultipleOf,
+    PowerOfTwo,
+    RangeConstraint,
+    SizeConstraint,
+)
+from repro.apps.reconfiguration import (
+    ConstantReconfigurationCost,
+    DataRedistributionCost,
+    NoReconfigurationCost,
+    PerProcessorReconfigurationCost,
+    ReconfigurationCost,
+)
+from repro.apps.profiles import (
+    ApplicationProfile,
+    ProfileRegistry,
+    default_registry,
+    ft_profile,
+    gadget2_profile,
+)
+from repro.apps.runtime import ExecutionRecord, RunningApplication
+
+__all__ = [
+    "AmdahlSpeedup",
+    "AnySize",
+    "ApplicationProfile",
+    "CompositeConstraint",
+    "ConstantReconfigurationCost",
+    "DataRedistributionCost",
+    "DowneySpeedup",
+    "ExecutionRecord",
+    "MultipleOf",
+    "NoReconfigurationCost",
+    "PerProcessorReconfigurationCost",
+    "PowerLawSpeedup",
+    "PowerOfTwo",
+    "ProfileRegistry",
+    "RangeConstraint",
+    "ReconfigurationCost",
+    "RunningApplication",
+    "SizeConstraint",
+    "SpeedupModel",
+    "TabulatedSpeedup",
+    "default_registry",
+    "ft_profile",
+    "gadget2_profile",
+]

@@ -1,0 +1,163 @@
+"""Processor-count constraints of malleable applications.
+
+The paper deliberately keeps such constraints out of the scheduler:
+
+    "we propose that the scheduler does not care about such constraints, in
+    order to avoid to make it implement an exhaustive collection of possible
+    constraints.  Consequently, when responding to grow and shrink messages,
+    the FT application accepts only the highest power of 2 processors that
+    does not exceed the allocated number.  Additional processors are
+    voluntarily released to the scheduler."
+
+A :class:`SizeConstraint` therefore lives on the *application* side (inside
+the DYNACO decide component): given an offered allocation it answers which
+size the application actually accepts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+
+class SizeConstraint(ABC):
+    """Decides which processor counts an application can actually use."""
+
+    @abstractmethod
+    def is_acceptable(self, processors: int) -> bool:
+        """Whether the application can run on exactly *processors* processors."""
+
+    def largest_acceptable(self, processors: int) -> int:
+        """Largest acceptable size not exceeding *processors* (0 if none)."""
+        n = int(processors)
+        while n >= 1:
+            if self.is_acceptable(n):
+                return n
+            n -= 1
+        return 0
+
+    def smallest_acceptable(self, processors: int, limit: int = 1 << 20) -> int:
+        """Smallest acceptable size that is at least *processors* (0 if none)."""
+        n = max(1, int(processors))
+        while n <= limit:
+            if self.is_acceptable(n):
+                return n
+            n += 1
+        return 0
+
+
+class AnySize(SizeConstraint):
+    """No constraint: every positive processor count is acceptable."""
+
+    def is_acceptable(self, processors: int) -> bool:
+        return processors >= 1
+
+    def largest_acceptable(self, processors: int) -> int:
+        return max(0, int(processors))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "AnySize()"
+
+
+class PowerOfTwo(SizeConstraint):
+    """Only powers of two are acceptable (the NAS FT benchmark's constraint)."""
+
+    def is_acceptable(self, processors: int) -> bool:
+        return processors >= 1 and (processors & (processors - 1)) == 0
+
+    def largest_acceptable(self, processors: int) -> int:
+        if processors < 1:
+            return 0
+        return 1 << (int(processors).bit_length() - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "PowerOfTwo()"
+
+
+class MultipleOf(SizeConstraint):
+    """Only multiples of *factor* are acceptable (e.g. one process per node pair)."""
+
+    def __init__(self, factor: int) -> None:
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.factor = int(factor)
+
+    def is_acceptable(self, processors: int) -> bool:
+        return processors >= self.factor and processors % self.factor == 0
+
+    def largest_acceptable(self, processors: int) -> int:
+        if processors < self.factor:
+            return 0
+        return (int(processors) // self.factor) * self.factor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultipleOf({self.factor})"
+
+
+class RangeConstraint(SizeConstraint):
+    """Restrict sizes to ``[minimum, maximum]`` on top of an inner constraint."""
+
+    def __init__(
+        self,
+        minimum: int,
+        maximum: int,
+        inner: SizeConstraint | None = None,
+    ) -> None:
+        if minimum < 1:
+            raise ValueError("minimum must be >= 1")
+        if maximum < minimum:
+            raise ValueError("maximum must be >= minimum")
+        self.minimum = int(minimum)
+        self.maximum = int(maximum)
+        self.inner = inner or AnySize()
+
+    def is_acceptable(self, processors: int) -> bool:
+        return self.minimum <= processors <= self.maximum and self.inner.is_acceptable(processors)
+
+    def largest_acceptable(self, processors: int) -> int:
+        capped = min(int(processors), self.maximum)
+        candidate = self.inner.largest_acceptable(capped)
+        return candidate if candidate >= self.minimum else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RangeConstraint({self.minimum}, {self.maximum}, {self.inner!r})"
+
+
+class ExplicitSizes(SizeConstraint):
+    """Only an explicitly enumerated set of sizes is acceptable."""
+
+    def __init__(self, sizes: Iterable[int]) -> None:
+        cleaned = sorted({int(s) for s in sizes})
+        if not cleaned or cleaned[0] < 1:
+            raise ValueError("sizes must be a non-empty collection of positive integers")
+        self.sizes: Sequence[int] = cleaned
+
+    def is_acceptable(self, processors: int) -> bool:
+        return processors in self.sizes
+
+    def largest_acceptable(self, processors: int) -> int:
+        best = 0
+        for size in self.sizes:
+            if size <= processors:
+                best = size
+            else:
+                break
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExplicitSizes({list(self.sizes)!r})"
+
+
+class CompositeConstraint(SizeConstraint):
+    """Conjunction of several constraints (all must accept the size)."""
+
+    def __init__(self, constraints: Iterable[SizeConstraint]) -> None:
+        self.constraints = list(constraints)
+        if not self.constraints:
+            raise ValueError("at least one constraint is required")
+
+    def is_acceptable(self, processors: int) -> bool:
+        return all(c.is_acceptable(processors) for c in self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompositeConstraint({self.constraints!r})"

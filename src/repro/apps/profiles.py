@@ -1,0 +1,234 @@
+"""Application profiles and the profile registry.
+
+An :class:`ApplicationProfile` bundles everything the simulation needs to
+know about an application *class* (as opposed to a single job):
+
+* its speedup model (how execution time scales with processors),
+* its size constraint (which processor counts it accepts),
+* its reconfiguration cost model, and
+* default minimum/maximum sizes used when generating workloads.
+
+Two calibrated profiles reproduce the applications used in the paper's
+evaluation: :func:`ft_profile` (NAS FT) and :func:`gadget2_profile`
+(GADGET-2), with execution-time curves matching Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.apps.constraints import AnySize, PowerOfTwo, SizeConstraint
+from repro.apps.reconfiguration import (
+    DataRedistributionCost,
+    NoReconfigurationCost,
+    ReconfigurationCost,
+)
+from repro.apps.speedup import SpeedupModel, TabulatedSpeedup
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Static description of an application class.
+
+    Attributes
+    ----------
+    name:
+        Unique human-readable identifier (``"ft"``, ``"gadget2"``, ...).
+    speedup:
+        The application's scaling behaviour.
+    constraint:
+        Which processor counts the application accepts.  The scheduler never
+        sees this: it is applied on the application side when grow/shrink
+        offers arrive (Section VI-A of the paper).
+    reconfiguration:
+        The cost model for grow/shrink pauses.
+    default_minimum / default_maximum:
+        Default minimum and maximum sizes used for workload generation
+        (the paper uses minimum 2 for both applications and maximum 32 for
+        FT / 46 for GADGET-2).
+    malleable:
+        Whether instances of this profile can change size at runtime.  Rigid
+        jobs in workload ``Wmr`` reuse the same profiles with
+        ``malleable=False``.
+    """
+
+    name: str
+    speedup: SpeedupModel
+    constraint: SizeConstraint = field(default_factory=AnySize)
+    reconfiguration: ReconfigurationCost = field(default_factory=NoReconfigurationCost)
+    default_minimum: int = 2
+    default_maximum: int = 32
+    malleable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        if self.default_minimum < 1:
+            raise ValueError("default_minimum must be >= 1")
+        if self.default_maximum < self.default_minimum:
+            raise ValueError("default_maximum must be >= default_minimum")
+
+    def execution_time(self, processors: int) -> float:
+        """Execution time of the full application on *processors* processors."""
+        return self.speedup.execution_time(processors)
+
+    def accepted_size(self, offered: int) -> int:
+        """Size the application actually uses when offered *offered* processors.
+
+        This is the application-side filtering described in the paper: FT
+        accepts only the largest power of two not exceeding the offer and
+        voluntarily releases the rest.  Returns 0 if no acceptable size fits
+        in the offer.
+        """
+        if offered < 1:
+            return 0
+        return self.constraint.largest_acceptable(offered)
+
+    def as_rigid(self) -> "ApplicationProfile":
+        """Return a copy of this profile marked as rigid (non-malleable)."""
+        return replace(self, malleable=False)
+
+    def with_reconfiguration(self, model: ReconfigurationCost) -> "ApplicationProfile":
+        """Return a copy with a different reconfiguration-cost model."""
+        return replace(self, reconfiguration=model)
+
+
+# ---------------------------------------------------------------------------
+# Calibrated profiles for the paper's applications
+# ---------------------------------------------------------------------------
+
+#: Measured points read off Figure 6 for the NAS FT benchmark on the Delft
+#: cluster: roughly 2 minutes on 2 machines, best ~1 minute, and it only runs
+#: on power-of-two sizes.
+FT_SCALING_POINTS = (
+    (1, 220.0),
+    (2, 120.0),
+    (4, 85.0),
+    (8, 70.0),
+    (16, 62.0),
+    (32, 60.0),
+)
+
+#: Measured points read off Figure 6 for GADGET-2: about 10 minutes on 2
+#: machines, best about 4 minutes around 30-40 machines.
+GADGET2_SCALING_POINTS = (
+    (1, 1100.0),
+    (2, 600.0),
+    (4, 420.0),
+    (8, 330.0),
+    (16, 280.0),
+    (24, 260.0),
+    (32, 248.0),
+    (40, 242.0),
+    (46, 240.0),
+)
+
+
+def ft_profile(
+    *,
+    reconfiguration: Optional[ReconfigurationCost] = None,
+    maximum: int = 32,
+    minimum: int = 2,
+) -> ApplicationProfile:
+    """Profile of the NAS Parallel Benchmark FT calibrated to Figure 6.
+
+    FT performs a distributed 3-D FFT; it requires a power-of-two number of
+    processors and assumes processors of equal compute power.  The default
+    reconfiguration cost models redistributing its (fixed-size) working set.
+    """
+    if reconfiguration is None:
+        # Class-B FT holds a few GB in memory; redistribution over 1 GbE-class
+        # links takes a handful of seconds.
+        reconfiguration = DataRedistributionCost(data_volume=1600.0, bandwidth=400.0, base=1.0)
+    return ApplicationProfile(
+        name="ft",
+        speedup=TabulatedSpeedup(FT_SCALING_POINTS),
+        constraint=PowerOfTwo(),
+        reconfiguration=reconfiguration,
+        default_minimum=minimum,
+        default_maximum=maximum,
+    )
+
+
+def gadget2_profile(
+    *,
+    reconfiguration: Optional[ReconfigurationCost] = None,
+    maximum: int = 46,
+    minimum: int = 2,
+) -> ApplicationProfile:
+    """Profile of the GADGET-2 n-body simulator calibrated to Figure 6.
+
+    GADGET-2 runs on an arbitrary number of processors and includes its own
+    load balancer, so any size offered by the scheduler is accepted.  Its
+    particle data is larger than FT's working set, so reconfigurations are a
+    little more expensive.
+    """
+    if reconfiguration is None:
+        reconfiguration = DataRedistributionCost(data_volume=2400.0, bandwidth=400.0, base=2.0)
+    return ApplicationProfile(
+        name="gadget2",
+        speedup=TabulatedSpeedup(GADGET2_SCALING_POINTS),
+        constraint=AnySize(),
+        reconfiguration=reconfiguration,
+        default_minimum=minimum,
+        default_maximum=maximum,
+    )
+
+
+class ProfileRegistry:
+    """Name-indexed collection of application profiles.
+
+    The registry plays the role of the application information a KOALA user
+    supplies in a job description: runners look profiles up by name when a
+    job is submitted.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, ApplicationProfile] = {}
+        self._factories: Dict[str, Callable[[], ApplicationProfile]] = {}
+
+    def register(self, profile: ApplicationProfile, overwrite: bool = False) -> None:
+        """Register *profile* under its own name."""
+        if profile.name in self._profiles and not overwrite:
+            raise KeyError(f"profile {profile.name!r} is already registered")
+        self._profiles[profile.name] = profile
+
+    def register_factory(
+        self, name: str, factory: Callable[[], ApplicationProfile], overwrite: bool = False
+    ) -> None:
+        """Register a lazy factory producing the profile on first lookup."""
+        if name in self._factories and not overwrite:
+            raise KeyError(f"factory {name!r} is already registered")
+        self._factories[name] = factory
+
+    def get(self, name: str) -> ApplicationProfile:
+        """Return the profile registered under *name*."""
+        if name not in self._profiles and name in self._factories:
+            self._profiles[name] = self._factories[name]()
+        try:
+            return self._profiles[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown application profile {name!r}; known: {sorted(self)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> ApplicationProfile:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles or name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(set(self._profiles) | set(self._factories)))
+
+    def __len__(self) -> int:
+        return len(set(self._profiles) | set(self._factories))
+
+
+def default_registry() -> ProfileRegistry:
+    """Registry pre-populated with the paper's two applications."""
+    registry = ProfileRegistry()
+    registry.register_factory("ft", ft_profile)
+    registry.register_factory("gadget2", gadget2_profile)
+    return registry

@@ -1,0 +1,185 @@
+"""A single cluster: a pool of identical nodes with atomic allocate/release.
+
+The experiments allocate whole nodes ("the granularity of allocation is the
+node"), so a cluster is modelled as a counted pool rather than as individual
+node objects.  The cluster keeps separate grid/local usage counters so the
+KOALA information service can report idle processors, and the metrics layer
+can attribute utilization to KOALA-managed jobs versus background load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.allocation import Allocation, AllocationError
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.sim.monitor import TimeSeries
+
+
+class Cluster:
+    """A space-shared pool of *total_processors* identical nodes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Cluster name (e.g. ``"delft"``).
+    total_processors:
+        Number of allocatable nodes.
+    location:
+        Human-readable site name (Table I's "Location" column).
+    interconnect:
+        Description of the local interconnect (Table I).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        total_processors: int,
+        *,
+        location: str = "",
+        interconnect: str = "",
+    ) -> None:
+        if total_processors < 1:
+            raise ValueError("a cluster needs at least one processor")
+        self.env = env
+        self.name = name
+        self.location = location or name
+        self.interconnect = interconnect
+        self._total = int(total_processors)
+        self._used_grid = 0
+        self._used_local = 0
+        self._allocations: Dict[int, Allocation] = {}
+        #: Step function of the total number of busy processors.
+        self.usage_series = TimeSeries(name=f"{name}:usage")
+        #: Step function of processors busy on behalf of KOALA-managed jobs.
+        self.grid_usage_series = TimeSeries(name=f"{name}:grid-usage")
+        #: Step function of processors busy on behalf of local background jobs.
+        self.local_usage_series = TimeSeries(name=f"{name}:local-usage")
+        #: Events to trigger next time processors are released (used by the
+        #: local resource manager and the malleability manager to react to
+        #: freed capacity without polling).
+        self._release_waiters: List[Event] = []
+        #: Persistent callbacks invoked on *every* release with
+        #: ``(allocation)``; used by the malleability manager to account for
+        #: the processors that become available over time.
+        self._release_listeners: List = []
+        self._record_usage()
+
+    # -- capacity bookkeeping ------------------------------------------------
+
+    @property
+    def total_processors(self) -> int:
+        """Total number of allocatable processors (nodes)."""
+        return self._total
+
+    @property
+    def used_processors(self) -> int:
+        """Processors currently allocated (grid + local)."""
+        return self._used_grid + self._used_local
+
+    @property
+    def grid_processors(self) -> int:
+        """Processors currently allocated to KOALA-managed jobs."""
+        return self._used_grid
+
+    @property
+    def local_processors(self) -> int:
+        """Processors currently allocated to local background jobs."""
+        return self._used_local
+
+    @property
+    def idle_processors(self) -> int:
+        """Processors currently idle."""
+        return self._total - self.used_processors
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the cluster currently busy."""
+        return self.used_processors / self._total
+
+    @property
+    def active_allocations(self) -> List[Allocation]:
+        """Allocations currently held, oldest first."""
+        return sorted(self._allocations.values(), key=lambda a: a.granted_at)
+
+    # -- allocate / release ----------------------------------------------------
+
+    def try_allocate(self, processors: int, owner: str, kind: str = "grid") -> Optional[Allocation]:
+        """Atomically allocate *processors* nodes, or return ``None`` if unavailable."""
+        if processors < 1:
+            raise AllocationError("cannot allocate fewer than one processor")
+        if processors > self.idle_processors:
+            return None
+        allocation = Allocation(
+            cluster=self,
+            processors=int(processors),
+            owner=owner,
+            kind=kind,
+            granted_at=self.env.now,
+        )
+        if kind == "grid":
+            self._used_grid += processors
+        else:
+            self._used_local += processors
+        self._allocations[allocation.allocation_id] = allocation
+        self._record_usage()
+        return allocation
+
+    def allocate(self, processors: int, owner: str, kind: str = "grid") -> Allocation:
+        """Allocate *processors* nodes or raise :class:`AllocationError`."""
+        allocation = self.try_allocate(processors, owner, kind)
+        if allocation is None:
+            raise AllocationError(
+                f"cluster {self.name!r} has only {self.idle_processors} idle processors, "
+                f"cannot allocate {processors}"
+            )
+        return allocation
+
+    def release(self, allocation: Allocation) -> None:
+        """Release a previously granted allocation."""
+        if allocation.allocation_id not in self._allocations:
+            raise AllocationError(f"{allocation!r} is not held on cluster {self.name!r}")
+        del self._allocations[allocation.allocation_id]
+        if allocation.kind == "grid":
+            self._used_grid -= allocation.processors
+        else:
+            self._used_local -= allocation.processors
+        allocation.released_at = self.env.now
+        self._record_usage()
+        for listener in list(self._release_listeners):
+            listener(allocation)
+        self._notify_release()
+
+    def when_released(self) -> Event:
+        """Return an event that triggers the next time processors are released."""
+        event = self.env.event()
+        self._release_waiters.append(event)
+        return event
+
+    def add_release_listener(self, callback) -> None:
+        """Invoke ``callback(allocation)`` every time an allocation is released."""
+        self._release_listeners.append(callback)
+
+    # -- internals -------------------------------------------------------------
+
+    def _notify_release(self) -> None:
+        waiters, self._release_waiters = self._release_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(self.idle_processors)
+
+    def _record_usage(self) -> None:
+        now = self.env.now
+        self.usage_series.record(now, self.used_processors)
+        self.grid_usage_series.record(now, self._used_grid)
+        self.local_usage_series.record(now, self._used_local)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Cluster {self.name!r} {self.used_processors}/{self._total} busy "
+            f"(grid={self._used_grid}, local={self._used_local})>"
+        )

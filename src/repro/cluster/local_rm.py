@@ -1,0 +1,155 @@
+"""SGE-like local resource manager.
+
+Each DAS-3 cluster runs the Sun Grid Engine configured for exclusive,
+space-shared node allocation.  Local users submit rigid jobs directly to the
+SGE instance, *bypassing* KOALA; the paper explicitly calls out that a
+multicluster scheduler must be resilient to that background load.
+
+:class:`LocalResourceManager` reproduces the relevant behaviour: a FCFS
+queue of rigid local jobs, each holding a fixed number of nodes for a fixed
+duration, with optional EASY-style backfilling (disabled by default to match
+the plain FCFS configuration used on the testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Deque, Dict, List, Optional
+from collections import deque
+
+from repro.cluster.cluster import Cluster
+from repro.sim.core import Environment
+from repro.sim.events import Event
+
+_local_job_ids = count(1)
+
+
+@dataclass
+class LocalJob:
+    """A rigid job submitted directly to a cluster's local resource manager."""
+
+    processors: int
+    duration: float
+    name: str = ""
+    job_id: int = field(default_factory=lambda: next(_local_job_ids))
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("local jobs need at least one processor")
+        if self.duration <= 0:
+            raise ValueError("local jobs need a positive duration")
+        if not self.name:
+            self.name = f"local-{self.job_id}"
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job has completed."""
+        return self.finish_time is not None
+
+    @property
+    def wait_time(self) -> float:
+        """Queue wait time (valid once the job has started)."""
+        if self.submit_time is None or self.start_time is None:
+            raise ValueError(f"job {self.name!r} has not started")
+        return self.start_time - self.submit_time
+
+
+class LocalResourceManager:
+    """Space-shared FCFS manager for local (background) jobs on one cluster.
+
+    Parameters
+    ----------
+    env, cluster:
+        The simulation environment and the managed cluster.
+    backfilling:
+        When ``True``, jobs behind a blocked queue head may start if they fit
+        in the currently idle processors (aggressive backfilling without
+        reservations).  The DAS-3 configuration modelled by default is plain
+        FCFS.
+    """
+
+    def __init__(self, env: Environment, cluster: Cluster, *, backfilling: bool = False) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.backfilling = backfilling
+        self._queue: Deque[LocalJob] = deque()
+        self._completion_events: Dict[int, Event] = {}
+        self._finished: List[LocalJob] = []
+        self._wakeup: Optional[Event] = None
+        self._dispatcher = env.process(self._dispatch_loop())
+
+    # -- public interface ------------------------------------------------------
+
+    def submit(self, job: LocalJob) -> Event:
+        """Queue *job*; returns an event that succeeds (with the job) at completion."""
+        job.submit_time = self.env.now
+        done = self.env.event()
+        self._completion_events[job.job_id] = done
+        self._queue.append(job)
+        self._kick()
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        """Number of local jobs waiting to start."""
+        return len(self._queue)
+
+    @property
+    def finished_jobs(self) -> List[LocalJob]:
+        """Local jobs that have completed, in completion order."""
+        return list(self._finished)
+
+    # -- dispatcher -------------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _dispatch_loop(self):
+        while True:
+            self._start_eligible_jobs()
+            # Sleep until either a new submission arrives or processors are
+            # released on the cluster.
+            self._wakeup = self.env.event()
+            released = self.cluster.when_released()
+            yield self._wakeup | released
+            self._wakeup = None
+
+    def _start_eligible_jobs(self) -> None:
+        started = True
+        while started:
+            started = False
+            if not self._queue:
+                return
+            head = self._queue[0]
+            if head.processors <= self.cluster.idle_processors:
+                self._queue.popleft()
+                self._start(head)
+                started = True
+            elif self.backfilling:
+                # Start the first later job that fits (no reservation for the
+                # head, i.e. aggressive backfilling).
+                for job in list(self._queue)[1:]:
+                    if job.processors <= self.cluster.idle_processors:
+                        self._queue.remove(job)
+                        self._start(job)
+                        started = True
+                        break
+
+    def _start(self, job: LocalJob) -> None:
+        allocation = self.cluster.allocate(job.processors, owner=job.name, kind="local")
+        job.start_time = self.env.now
+        self.env.process(self._run(job, allocation))
+
+    def _run(self, job: LocalJob, allocation):
+        yield self.env.timeout(job.duration)
+        allocation.release()
+        job.finish_time = self.env.now
+        self._finished.append(job)
+        done = self._completion_events.pop(job.job_id, None)
+        if done is not None and not done.triggered:
+            done.succeed(job)

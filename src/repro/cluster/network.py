@@ -1,0 +1,101 @@
+"""Inter-cluster network model.
+
+The wide-area interconnect matters for two of KOALA's placement policies:
+
+* **Close-to-Files (CF)** ranks clusters by the time needed to transfer a
+  job's input files to them;
+* **Cluster Minimization (CM/FCM)** tries to reduce the number of clusters a
+  co-allocated job spans because inter-cluster messages are much slower than
+  intra-cluster ones.
+
+The experiments of the paper run every job inside a single cluster and order
+no staging, so the network model only has to provide consistent estimates —
+a full packet-level simulation is unnecessary.  :class:`NetworkModel` keeps a
+symmetric latency/bandwidth matrix with sensible wide-area defaults and
+computes file-transfer times from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Link:
+    """Directed network link characteristics between two sites."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, megabytes: float) -> float:
+        """Time to move *megabytes* MB over this link (seconds)."""
+        if megabytes < 0:
+            raise ValueError("megabytes must be non-negative")
+        if megabytes == 0:
+            return 0.0
+        return self.latency + megabytes / self.bandwidth
+
+
+class NetworkModel:
+    """Symmetric latency/bandwidth estimates between clusters.
+
+    Parameters
+    ----------
+    default_local:
+        Link used within a single cluster (fast Myri-10G style).
+    default_remote:
+        Link used between clusters when no explicit entry exists
+        (1-10 Gbit/s wide-area Ethernet style).
+    """
+
+    def __init__(
+        self,
+        *,
+        default_local: Link = Link(latency=1e-4, bandwidth=1200.0),
+        default_remote: Link = Link(latency=2e-3, bandwidth=120.0),
+    ) -> None:
+        self.default_local = default_local
+        self.default_remote = default_remote
+        self._links: Dict[Tuple[str, str], Link] = {}
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def set_link(self, a: str, b: str, link: Link) -> None:
+        """Define the link between sites *a* and *b* (symmetric)."""
+        self._links[self._key(a, b)] = link
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between sites *a* and *b* (falls back to defaults)."""
+        if a == b:
+            return self._links.get(self._key(a, b), self.default_local)
+        return self._links.get(self._key(a, b), self.default_remote)
+
+    def transfer_time(self, source: str, destination: str, megabytes: float) -> float:
+        """Estimated time to move *megabytes* MB from *source* to *destination*."""
+        return self.link(source, destination).transfer_time(megabytes)
+
+    def best_source(
+        self, destination: str, sources: Iterable[str], megabytes: float
+    ) -> Optional[Tuple[str, float]]:
+        """The source site minimising transfer time to *destination*.
+
+        Returns ``(site, transfer_time)`` or ``None`` when *sources* is empty.
+        """
+        best: Optional[Tuple[str, float]] = None
+        for site in sources:
+            t = self.transfer_time(site, destination, megabytes)
+            if best is None or t < best[1]:
+                best = (site, t)
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<NetworkModel {len(self._links)} explicit links>"

@@ -1,0 +1,135 @@
+"""The *decide* component: choosing whether and how to adapt.
+
+The decision procedure is the application-specific heart of DYNACO.  For a
+malleable application its job is simple but crucial: given a grow offer or a
+shrink request from the scheduler, pick the processor count the application
+will actually adopt, respecting
+
+* its minimum size (it can never shrink below it, even for mandatory
+  shrinks),
+* its maximum size (accepting more would waste processors), and
+* its structural size constraint (e.g. FT's power-of-two requirement), which
+  the scheduler deliberately knows nothing about.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.constraints import AnySize, SizeConstraint
+from repro.dynaco.events import EnvironmentEvent, GrowOffer, ShrinkRequest
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """The strategy adopted by the decide component.
+
+    For malleability the strategy is fully described by the target processor
+    count; ``target_allocation == current allocation`` means "keep the current
+    strategy" (no adaptation).
+    """
+
+    target_allocation: int
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.target_allocation < 0:
+            raise ValueError("target_allocation must be non-negative")
+
+
+class DecisionProcedure(ABC):
+    """Base class of decide components."""
+
+    @abstractmethod
+    def decide(self, event: EnvironmentEvent, current_allocation: int) -> Strategy:
+        """Return the strategy to adopt in reaction to *event*."""
+
+
+class MalleabilityDecision(DecisionProcedure):
+    """Decision procedure of a malleable application.
+
+    Parameters
+    ----------
+    minimum / maximum:
+        The job's minimum and maximum processor counts (Section II-B).
+    constraint:
+        The application's structural size constraint.
+    grow_eagerness:
+        Fraction of an offer the application is willing to take (1.0 accepts
+        everything it can use; lower values model applications that grow
+        conservatively, an extension knob used by the ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        minimum: int,
+        maximum: int,
+        constraint: Optional[SizeConstraint] = None,
+        *,
+        grow_eagerness: float = 1.0,
+    ) -> None:
+        if minimum < 1:
+            raise ValueError("minimum must be >= 1")
+        if maximum < minimum:
+            raise ValueError("maximum must be >= minimum")
+        if not 0.0 <= grow_eagerness <= 1.0:
+            raise ValueError("grow_eagerness must lie in [0, 1]")
+        self.minimum = int(minimum)
+        self.maximum = int(maximum)
+        self.constraint = constraint or AnySize()
+        self.grow_eagerness = float(grow_eagerness)
+
+    # -- decision entry point ------------------------------------------------
+
+    def decide(self, event: EnvironmentEvent, current_allocation: int) -> Strategy:
+        if isinstance(event, GrowOffer):
+            return self._decide_grow(event.offered, current_allocation)
+        if isinstance(event, ShrinkRequest):
+            return self._decide_shrink(event.requested, current_allocation)
+        # Unknown events never change the strategy.
+        return Strategy(target_allocation=current_allocation, reason="unhandled event")
+
+    # -- grow ------------------------------------------------------------------
+
+    def _decide_grow(self, offered: int, current: int) -> Strategy:
+        if offered <= 0 or current >= self.maximum:
+            return Strategy(current, reason="nothing to gain")
+        usable_offer = int(round(offered * self.grow_eagerness)) if offered > 0 else 0
+        if usable_offer <= 0:
+            return Strategy(current, reason="declined by eagerness")
+        proposed = min(current + usable_offer, self.maximum)
+        acceptable = self.constraint.largest_acceptable(proposed)
+        if acceptable <= current or acceptable < self.minimum:
+            return Strategy(current, reason="constraint leaves no room to grow")
+        return Strategy(acceptable, reason=f"grow {current} -> {acceptable}")
+
+    # -- shrink ----------------------------------------------------------------
+
+    def _decide_shrink(self, requested: int, current: int) -> Strategy:
+        if requested <= 0 or current <= self.minimum:
+            return Strategy(current, reason="cannot shrink below minimum")
+        proposed = max(current - requested, self.minimum)
+        acceptable = self.constraint.largest_acceptable(proposed)
+        if acceptable < self.minimum:
+            # The constraint admits no size between the minimum and the
+            # proposal; look for the smallest acceptable size that still
+            # satisfies the request direction (i.e. is below the current
+            # allocation) but not below the minimum.
+            acceptable = 0
+            for size in range(proposed, current):
+                if size >= self.minimum and self.constraint.is_acceptable(size):
+                    acceptable = size
+                    break
+            if acceptable == 0:
+                return Strategy(current, reason="constraint prevents shrinking")
+        if acceptable >= current:
+            return Strategy(current, reason="constraint prevents shrinking")
+        return Strategy(acceptable, reason=f"shrink {current} -> {acceptable}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MalleabilityDecision(minimum={self.minimum}, maximum={self.maximum}, "
+            f"constraint={self.constraint!r}, grow_eagerness={self.grow_eagerness})"
+        )

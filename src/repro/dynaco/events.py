@@ -1,0 +1,98 @@
+"""Events exchanged between the scheduler, the runner frontend and DYNACO.
+
+These dataclasses form the vocabulary of the grow/shrink protocol described
+in Sections II and V of the paper:
+
+* the scheduler *offers* additional processors (:class:`GrowOffer`) or
+  *requests* processors back (:class:`ShrinkRequest`); shrink requests issued
+  by the PWA approach are mandatory;
+* the application answers with the number of processors it *accepts* and an
+  :class:`AdaptationResult` is produced once the adaptation has actually been
+  executed, which the frontend turns into an acknowledgment to the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EnvironmentEvent:
+    """Base class of events observed by DYNACO monitors."""
+
+    time: float
+    source: str = field(default="scheduler", kw_only=True)
+
+
+@dataclass(frozen=True)
+class GrowOffer(EnvironmentEvent):
+    """The scheduler offers *offered* additional processors to the application.
+
+    Growing is always voluntary: the application answers how many of the
+    offered processors it accepts (possibly zero), taking its maximum size and
+    its size constraint into account.
+    """
+
+    offered: int = 0
+    current_allocation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offered < 0:
+            raise ValueError("offered must be non-negative")
+        if self.current_allocation < 0:
+            raise ValueError("current_allocation must be non-negative")
+
+
+@dataclass(frozen=True)
+class ShrinkRequest(EnvironmentEvent):
+    """The scheduler asks the application to give back *requested* processors.
+
+    ``mandatory`` distinguishes the PWA approach's mandatory shrinks (the
+    system needs the processors for a waiting job) from voluntary ones.  Even
+    a mandatory shrink never takes the application below its minimum size.
+    """
+
+    requested: int = 0
+    current_allocation: int = 0
+    mandatory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.requested < 0:
+            raise ValueError("requested must be non-negative")
+        if self.current_allocation < 0:
+            raise ValueError("current_allocation must be non-negative")
+
+
+@dataclass(frozen=True)
+class AdaptationResult:
+    """Outcome of one executed adaptation.
+
+    Attributes
+    ----------
+    event:
+        The environment event that triggered the adaptation.
+    accepted_change:
+        Number of processors actually gained (positive) or released
+        (negative).  Zero means the application declined to adapt.
+    new_allocation:
+        Allocation after the adaptation.
+    completed_at:
+        Simulation time the adaptation finished (``None`` if it was declined
+        outright and nothing was executed).
+    voluntary_release:
+        Processors the application gave back *beyond* what was asked, e.g.
+        FT rounding an offer down to a power of two (the paper: "additional
+        processors are voluntarily released to the scheduler").
+    """
+
+    event: EnvironmentEvent
+    accepted_change: int
+    new_allocation: int
+    completed_at: Optional[float] = None
+    voluntary_release: int = 0
+
+    @property
+    def declined(self) -> bool:
+        """Whether the application declined to change its allocation."""
+        return self.accepted_change == 0

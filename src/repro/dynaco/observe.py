@@ -1,0 +1,105 @@
+"""The *observe* component: monitors that turn outside stimuli into events.
+
+In the paper's integration, "the frontend is reflected as a monitor, which
+generates events when it receives grow and shrink messages from the
+scheduler".  :class:`SchedulerFrontendMonitor` is that monitor: the runner
+frontend calls :meth:`~SchedulerFrontendMonitor.on_grow_message` /
+:meth:`~SchedulerFrontendMonitor.on_shrink_message` and the monitor forwards
+the corresponding :class:`~repro.dynaco.events.EnvironmentEvent` to its
+subscribers (normally the :class:`~repro.dynaco.framework.Dynaco` instance).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List
+
+from repro.dynaco.events import EnvironmentEvent, GrowOffer, ShrinkRequest
+
+#: Signature of an event subscriber.
+EventHandler = Callable[[EnvironmentEvent], None]
+
+
+class Monitor(ABC):
+    """Base class of observe components.
+
+    A monitor publishes :class:`EnvironmentEvent` instances to its
+    subscribers.  Concrete monitors decide *when* to publish (on scheduler
+    messages, on resource failures, on application progress, ...).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[EventHandler] = []
+
+    def subscribe(self, handler: EventHandler) -> None:
+        """Register *handler* to be called for every published event."""
+        self._subscribers.append(handler)
+
+    def publish(self, event: EnvironmentEvent) -> None:
+        """Deliver *event* to all subscribers in subscription order."""
+        for handler in list(self._subscribers):
+            handler(event)
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable monitor name."""
+
+
+class SchedulerFrontendMonitor(Monitor):
+    """Monitor fed by the runner frontend with scheduler grow/shrink messages."""
+
+    def __init__(self, frontend_name: str = "koala-frontend") -> None:
+        super().__init__()
+        self._name = frontend_name
+        #: Events published so far, for diagnostics and tests.
+        self.history: List[EnvironmentEvent] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def on_grow_message(self, time: float, offered: int, current_allocation: int) -> GrowOffer:
+        """Translate a scheduler grow message into a :class:`GrowOffer` event."""
+        event = GrowOffer(
+            time=time, offered=offered, current_allocation=current_allocation, source=self._name
+        )
+        self.history.append(event)
+        self.publish(event)
+        return event
+
+    def on_shrink_message(
+        self, time: float, requested: int, current_allocation: int, mandatory: bool = True
+    ) -> ShrinkRequest:
+        """Translate a scheduler shrink message into a :class:`ShrinkRequest` event."""
+        event = ShrinkRequest(
+            time=time,
+            requested=requested,
+            current_allocation=current_allocation,
+            mandatory=mandatory,
+            source=self._name,
+        )
+        self.history.append(event)
+        self.publish(event)
+        return event
+
+
+class CallbackMonitor(Monitor):
+    """A generic monitor whose events are injected by arbitrary callers.
+
+    Useful for modelling application-initiated adaptation (the paper's future
+    work): the application's own progress logic can publish a
+    :class:`~repro.dynaco.events.GrowOffer`-like event through this monitor.
+    """
+
+    def __init__(self, name: str = "callback-monitor") -> None:
+        super().__init__()
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def emit(self, event: EnvironmentEvent) -> None:
+        """Publish *event* to subscribers."""
+        self.publish(event)

@@ -1,0 +1,108 @@
+"""The *plan* component: turning a strategy change into executable actions.
+
+When the decide component adopts a new strategy (a new target allocation),
+the planner produces the ordered list of actions that realise it.  For an
+SPMD application adapted with AFPAC, growing and shrinking follow fixed
+recipes, so :class:`MalleabilityPlanner` is a template planner; the point of
+keeping it as a separate component is fidelity to the DYNACO architecture and
+the ability to test and extend planning independently (e.g. adding
+checkpoint-based migration actions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.dynaco.decide import Strategy
+
+
+@dataclass(frozen=True)
+class Action:
+    """One step of an adaptation plan.
+
+    ``kind`` is a symbolic action name interpreted by the executor; the
+    standard malleability vocabulary is:
+
+    * ``"wait-adaptation-point"`` — let the application reach a consistent
+      state (AFPAC);
+    * ``"recruit-processors"`` — hand newly obtained processors (GRAM stubs)
+      to the application;
+    * ``"redistribute-data"`` — pay the reconfiguration cost and adopt the new
+      process layout;
+    * ``"release-processors"`` — give processors back to the runner so it can
+      release the corresponding GRAM jobs.
+    """
+
+    kind: str
+    parameters: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def parameter(self, name: str, default=None):
+        """Value of parameter *name* (or *default*)."""
+        for key, value in self.parameters:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An ordered list of actions realising a strategy change."""
+
+    strategy: Strategy
+    actions: Tuple[Action, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan contains no actions (nothing to execute)."""
+        return not self.actions
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+class Planner(ABC):
+    """Base class of plan components."""
+
+    @abstractmethod
+    def plan(self, current_allocation: int, strategy: Strategy) -> Plan:
+        """Produce the plan that moves the application onto *strategy*."""
+
+
+class MalleabilityPlanner(Planner):
+    """Standard grow/shrink plans for SPMD applications adapted with AFPAC."""
+
+    def plan(self, current_allocation: int, strategy: Strategy) -> Plan:
+        target = strategy.target_allocation
+        if target == current_allocation:
+            return Plan(strategy=strategy, actions=())
+
+        if target > current_allocation:
+            actions = (
+                Action(
+                    "recruit-processors",
+                    (("count", target - current_allocation),),
+                ),
+                Action("wait-adaptation-point"),
+                Action(
+                    "redistribute-data",
+                    (("from", current_allocation), ("to", target)),
+                ),
+            )
+        else:
+            actions = (
+                Action("wait-adaptation-point"),
+                Action(
+                    "redistribute-data",
+                    (("from", current_allocation), ("to", target)),
+                ),
+                Action(
+                    "release-processors",
+                    (("count", current_allocation - target),),
+                ),
+            )
+        return Plan(strategy=strategy, actions=actions)

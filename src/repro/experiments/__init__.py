@@ -1,0 +1,41 @@
+"""Experiment drivers reproducing the paper's evaluation.
+
+One module per figure of the evaluation section plus the ablation studies
+promised in DESIGN.md:
+
+* :mod:`repro.experiments.figure6` — the execution-time scaling curves of the
+  two applications (Figure 6);
+* :mod:`repro.experiments.figure7` — FPSMA vs EGS under the PRA approach on
+  workloads Wm and Wmr (Figures 7(a)–7(f));
+* :mod:`repro.experiments.figure8` — FPSMA vs EGS under the PWA approach on
+  workloads W'm and W'mr (Figures 8(a)–8(f));
+* :mod:`repro.experiments.ablations` — sensitivity studies on the
+  design choices (threshold, reconfiguration overhead, placement policy,
+  baseline policies);
+* :mod:`repro.experiments.setup` — the shared experiment runner;
+* :mod:`repro.experiments.cli` — the ``repro-experiment`` command-line tool.
+"""
+
+from repro.experiments.setup import (
+    ExperimentConfig,
+    ExperimentResult,
+    build_workload,
+    run_experiment,
+)
+from repro.experiments.figure6 import figure6_report, figure6_table, run_figure6
+from repro.experiments.figure7 import figure7_report, run_figure7
+from repro.experiments.figure8 import figure8_report, run_figure8
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_workload",
+    "figure6_report",
+    "figure6_table",
+    "figure7_report",
+    "figure8_report",
+    "run_experiment",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+]

@@ -1,0 +1,234 @@
+"""Ablation studies on the design choices called out in DESIGN.md.
+
+These go beyond the paper's evaluation and quantify the sensitivity of the
+results to the knobs the paper mentions but does not sweep:
+
+* the *approach* itself (PRA vs PWA on the same workload);
+* the malleability policy, including the related-work baselines
+  (equipartition, folding) the paper discusses;
+* the free-processor *threshold* left to local users when growing;
+* the grow/shrink *overhead* (GRAM submission latency and data
+  redistribution cost);
+* the *placement policy* interaction (WF vs CF vs CM/FCM);
+* resilience to *background load* submitted behind KOALA's back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.apps.profiles import ft_profile, gadget2_profile
+from repro.apps.reconfiguration import ConstantReconfigurationCost
+from repro.apps.profiles import ProfileRegistry
+from repro.cluster.background import BackgroundLoadSpec
+from repro.experiments.setup import ExperimentConfig, ExperimentResult, run_experiment
+from repro.metrics.reports import summary_table
+
+
+def run_approach_ablation(
+    *, job_count: int = 60, seed: int = 0, workload: str = "W'm", policy: str = "EGS"
+) -> Dict[str, ExperimentResult]:
+    """PRA versus PWA on the same high-load workload and policy."""
+    results: Dict[str, ExperimentResult] = {}
+    for approach in ("PRA", "PWA"):
+        config = ExperimentConfig(
+            name=f"ablation-approach-{approach}",
+            workload=workload,
+            job_count=job_count,
+            malleability_policy=policy,
+            approach=approach,
+            seed=seed,
+        )
+        results[f"{approach}/{policy}/{workload}"] = run_experiment(config)
+    return results
+
+
+def run_policy_ablation(
+    *,
+    job_count: int = 60,
+    seed: int = 0,
+    workload: str = "Wm",
+    approach: str = "PRA",
+    policies: Sequence[Optional[str]] = ("FPSMA", "EGS", "EQUIPARTITION", "FOLDING", None),
+) -> Dict[str, ExperimentResult]:
+    """The paper's policies against the related-work baselines and no malleability."""
+    results: Dict[str, ExperimentResult] = {}
+    for policy in policies:
+        config = ExperimentConfig(
+            name=f"ablation-policy-{policy or 'none'}",
+            workload=workload,
+            job_count=job_count,
+            malleability_policy=policy,
+            approach=approach,
+            seed=seed,
+        )
+        label = f"{policy or 'no-malleability'}/{workload}"
+        results[label] = run_experiment(config)
+    return results
+
+
+def run_threshold_ablation(
+    *,
+    job_count: int = 60,
+    seed: int = 0,
+    workload: str = "Wm",
+    thresholds: Sequence[int] = (0, 4, 16, 32),
+) -> Dict[str, ExperimentResult]:
+    """Effect of the per-cluster idle threshold reserved for local users."""
+    results: Dict[str, ExperimentResult] = {}
+    for threshold in thresholds:
+        config = ExperimentConfig(
+            name=f"ablation-threshold-{threshold}",
+            workload=workload,
+            job_count=job_count,
+            malleability_policy="EGS",
+            approach="PRA",
+            grow_threshold=threshold,
+            seed=seed,
+        )
+        results[f"threshold={threshold}"] = run_experiment(config)
+    return results
+
+
+def run_overhead_ablation(
+    *,
+    job_count: int = 60,
+    seed: int = 0,
+    workload: str = "Wm",
+    submission_latencies: Sequence[float] = (0.0, 5.0, 30.0, 120.0),
+) -> Dict[str, ExperimentResult]:
+    """Effect of the GRAM grow/shrink overhead on job execution times.
+
+    The paper stresses that this overhead is usually neglected; sweeping the
+    GRAM submission latency shows when reconfiguration costs start eating the
+    benefit of malleability.
+    """
+    results: Dict[str, ExperimentResult] = {}
+    for latency in submission_latencies:
+        config = ExperimentConfig(
+            name=f"ablation-overhead-{latency:g}",
+            workload=workload,
+            job_count=job_count,
+            malleability_policy="EGS",
+            approach="PRA",
+            gram_submission_latency=latency,
+            seed=seed,
+        )
+        results[f"gram-latency={latency:g}s"] = run_experiment(config)
+    return results
+
+
+def run_reconfiguration_cost_ablation(
+    *,
+    job_count: int = 40,
+    seed: int = 0,
+    workload: str = "Wm",
+    costs: Sequence[float] = (0.0, 5.0, 30.0, 90.0),
+) -> Dict[str, ExperimentResult]:
+    """Effect of the application-side data-redistribution pause."""
+    results: Dict[str, ExperimentResult] = {}
+    for cost in costs:
+        registry = ProfileRegistry()
+        registry.register(
+            ft_profile(reconfiguration=ConstantReconfigurationCost(cost)), overwrite=True
+        )
+        registry.register(
+            gadget2_profile(reconfiguration=ConstantReconfigurationCost(cost)), overwrite=True
+        )
+        config = ExperimentConfig(
+            name=f"ablation-reconfig-{cost:g}",
+            workload=workload,
+            job_count=job_count,
+            malleability_policy="EGS",
+            approach="PRA",
+            seed=seed,
+        )
+        # run_experiment builds jobs through the default registry; rebuild the
+        # workload here with the modified profiles instead.
+        from repro.experiments.setup import build_workload
+        from repro.sim.rng import RandomStreams
+        from repro.workloads.submission import WorkloadSubmitter
+        from repro.experiments.setup import build_system
+        from repro.metrics.collector import ExperimentMetrics
+        from repro.sim.core import Environment
+
+        streams = RandomStreams(seed=config.seed)
+        env = Environment()
+        workload_spec = build_workload(config, streams)
+        multicluster, scheduler = build_system(config, env, streams)
+        WorkloadSubmitter(env, scheduler, workload_spec, registry=registry)
+        env.run(until=config.time_limit)
+        metrics = ExperimentMetrics.from_run(scheduler, multicluster, label=config.label)
+        results[f"reconfig-cost={cost:g}s"] = ExperimentResult(
+            config=config,
+            metrics=metrics,
+            workload=workload_spec,
+            simulated_time=env.now,
+            all_done=scheduler.all_done,
+        )
+    return results
+
+
+def run_placement_ablation(
+    *,
+    job_count: int = 60,
+    seed: int = 0,
+    workload: str = "Wm",
+    policies: Sequence[str] = ("WF", "CF", "CM", "FCM"),
+) -> Dict[str, ExperimentResult]:
+    """Interaction of malleability with the different placement policies."""
+    results: Dict[str, ExperimentResult] = {}
+    for placement in policies:
+        config = ExperimentConfig(
+            name=f"ablation-placement-{placement}",
+            workload=workload,
+            job_count=job_count,
+            malleability_policy="EGS",
+            approach="PRA",
+            placement_policy=placement,
+            seed=seed,
+        )
+        results[f"placement={placement}"] = run_experiment(config)
+    return results
+
+
+def run_background_load_ablation(
+    *,
+    job_count: int = 60,
+    seed: int = 0,
+    workload: str = "Wm",
+    interarrivals: Sequence[float] = (float("inf"), 300.0, 60.0),
+) -> Dict[str, ExperimentResult]:
+    """Resilience to background load submitted directly to the local RMs."""
+    results: Dict[str, ExperimentResult] = {}
+    for interarrival in interarrivals:
+        if interarrival == float("inf"):
+            background = {}
+            label = "background=none"
+        else:
+            background = {
+                name: BackgroundLoadSpec(
+                    mean_interarrival=interarrival,
+                    mean_duration=600.0,
+                    min_processors=1,
+                    max_processors=8,
+                )
+                for name in ("vu", "uva", "delft", "multimedian", "leiden")
+            }
+            label = f"background={interarrival:g}s"
+        config = ExperimentConfig(
+            name=f"ablation-background-{interarrival:g}",
+            workload=workload,
+            job_count=job_count,
+            malleability_policy="EGS",
+            approach="PRA",
+            background=background,
+            seed=seed,
+        )
+        results[label] = run_experiment(config)
+    return results
+
+
+def ablation_report(results: Dict[str, ExperimentResult], *, title: str) -> str:
+    """Summary table of any ablation sweep."""
+    return summary_table({label: r.metrics for label, r in results.items()}, title=title)

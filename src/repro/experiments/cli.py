@@ -1,0 +1,140 @@
+"""Command-line entry point: ``repro-experiment``.
+
+Examples
+--------
+Regenerate the scaling curves of Figure 6::
+
+    repro-experiment figure6
+
+Run a reduced Figure 7 (60 jobs instead of 300, single seed)::
+
+    repro-experiment figure7 --jobs 60 --seed 1
+
+Run the full Figure 8 and write the report to a file::
+
+    repro-experiment figure8 --jobs 300 --output figure8.txt
+
+Run one custom configuration::
+
+    repro-experiment run --workload Wmr --policy EGS --approach PRA --jobs 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.ablations import (
+    ablation_report,
+    run_approach_ablation,
+    run_background_load_ablation,
+    run_overhead_ablation,
+    run_placement_ablation,
+    run_policy_ablation,
+    run_threshold_ablation,
+)
+from repro.experiments.figure6 import figure6_report, run_figure6
+from repro.experiments.figure7 import figure7_report, run_figure7
+from repro.experiments.figure8 import figure8_report, run_figure8
+from repro.experiments.setup import ExperimentConfig, run_experiment
+from repro.metrics.reports import metrics_to_csv, summary_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of ``repro-experiment``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce the experiments of 'Scheduling Malleable Applications "
+        "in Multicluster Systems' (CLUSTER 2007).",
+    )
+    parser.add_argument("--output", help="write the report to this file instead of stdout")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("figure6", help="execution-time scaling curves of FT and GADGET-2")
+
+    for figure in ("figure7", "figure8"):
+        sub = subparsers.add_parser(figure, help=f"reproduce {figure} (4 scheduler runs)")
+        sub.add_argument("--jobs", type=int, default=300, help="jobs per workload (default 300)")
+        sub.add_argument("--seed", type=int, default=0, help="root random seed")
+        sub.add_argument(
+            "--threshold", type=int, default=0, help="idle processors reserved for local users"
+        )
+
+    ablation = subparsers.add_parser("ablation", help="run one of the ablation sweeps")
+    ablation.add_argument(
+        "study",
+        choices=["approach", "policy", "threshold", "overhead", "placement", "background"],
+    )
+    ablation.add_argument("--jobs", type=int, default=60)
+    ablation.add_argument("--seed", type=int, default=0)
+
+    run = subparsers.add_parser("run", help="run a single custom configuration")
+    run.add_argument("--workload", default="Wm", help="Wm, Wmr, W'm or W'mr")
+    run.add_argument("--policy", default="FPSMA", help="FPSMA, EGS, EQUIPARTITION, FOLDING or none")
+    run.add_argument("--approach", default="PRA", help="PRA or PWA")
+    run.add_argument("--placement", default="WF", help="WF, CF, CM or FCM")
+    run.add_argument("--jobs", type=int, default=300)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--threshold", type=int, default=0)
+    run.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "figure6":
+        report = figure6_report(run_figure6())
+    elif args.command == "figure7":
+        results = run_figure7(job_count=args.jobs, seed=args.seed, grow_threshold=args.threshold)
+        report = figure7_report(results)
+    elif args.command == "figure8":
+        results = run_figure8(job_count=args.jobs, seed=args.seed, grow_threshold=args.threshold)
+        report = figure8_report(results)
+    elif args.command == "ablation":
+        runners = {
+            "approach": run_approach_ablation,
+            "policy": run_policy_ablation,
+            "threshold": run_threshold_ablation,
+            "overhead": run_overhead_ablation,
+            "placement": run_placement_ablation,
+            "background": run_background_load_ablation,
+        }
+        results = runners[args.study](job_count=args.jobs, seed=args.seed)
+        report = ablation_report(results, title=f"Ablation study: {args.study}")
+    elif args.command == "run":
+        policy = None if args.policy.lower() in ("none", "off") else args.policy
+        config = ExperimentConfig(
+            name="cli-run",
+            workload=args.workload,
+            job_count=args.jobs,
+            malleability_policy=policy,
+            approach=args.approach,
+            placement_policy=args.placement,
+            grow_threshold=args.threshold,
+            seed=args.seed,
+        )
+        result = run_experiment(config)
+        if args.csv:
+            report = metrics_to_csv(result.metrics)
+        else:
+            report = summary_table(
+                {result.label: result.metrics}, title=f"Run {result.label} (seed {args.seed})"
+            )
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        sys.stdout.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Figure 7 — FPSMA versus EGS under the PRA approach (no shrinking).
+
+The paper runs the four combinations {FPSMA, EGS} x {Wm, Wmr} with the
+Worst-Fit placement policy and reports six panels:
+
+(a) CDF of the per-job time-averaged processor count,
+(b) CDF of the per-job maximum processor count,
+(c) CDF of the execution times,
+(d) CDF of the response times,
+(e) utilization (busy processors) over time,
+(f) cumulative number of grow messages over time.
+
+The qualitative findings this reproduction must match: EGS gives jobs larger
+average and maximum sizes than FPSMA; the all-malleable workload Wm achieves
+shorter execution/response times and higher utilization than the mixed
+workload Wmr; and the number of grow messages is much higher for EGS and for
+Wm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.setup import ExperimentConfig, ExperimentResult, run_experiment
+from repro.metrics.asciiplot import cdf_plot
+from repro.metrics.collector import ExperimentMetrics
+from repro.metrics.reports import cdf_probe_table, comparison_table, summary_table
+
+#: The policy/workload combinations of Figure 7, in the paper's legend order.
+FIGURE7_COMBINATIONS = (
+    ("FPSMA", "Wm"),
+    ("FPSMA", "Wmr"),
+    ("EGS", "Wm"),
+    ("EGS", "Wmr"),
+)
+
+
+def figure7_config(
+    policy: str,
+    workload: str,
+    *,
+    job_count: int = 300,
+    seed: int = 0,
+    grow_threshold: int = 0,
+) -> ExperimentConfig:
+    """Configuration of one Figure 7 run (PRA approach)."""
+    return ExperimentConfig(
+        name=f"figure7-{policy}-{workload}",
+        workload=workload,
+        job_count=job_count,
+        malleability_policy=policy,
+        approach="PRA",
+        placement_policy="WF",
+        seed=seed,
+        grow_threshold=grow_threshold,
+    )
+
+
+def run_figure7(
+    *,
+    job_count: int = 300,
+    seed: int = 0,
+    combinations: Sequence[tuple] = FIGURE7_COMBINATIONS,
+    grow_threshold: int = 0,
+) -> Dict[str, ExperimentResult]:
+    """Run all Figure 7 combinations; returns results keyed by ``"policy/workload"``."""
+    results: Dict[str, ExperimentResult] = {}
+    for policy, workload in combinations:
+        config = figure7_config(
+            policy, workload, job_count=job_count, seed=seed, grow_threshold=grow_threshold
+        )
+        result = run_experiment(config)
+        results[result.label] = result
+    return results
+
+
+def _metrics(results: Dict[str, ExperimentResult]) -> Dict[str, ExperimentMetrics]:
+    return {label: result.metrics for label, result in results.items()}
+
+
+def figure7_report(results: Dict[str, ExperimentResult], *, samples: int = 8) -> str:
+    """Plain-text rendering of all six panels of Figure 7."""
+    metrics = _metrics(results)
+    sections = [summary_table(metrics, title="Figure 7 - summary (PRA approach)")]
+
+    sections.append(
+        cdf_probe_table(
+            metrics,
+            "average_allocation",
+            probes=[2, 5, 10, 15, 20, 25, 30],
+            title="Figure 7(a) - % of jobs with average processors <= x",
+        )
+    )
+    sections.append(
+        cdf_probe_table(
+            metrics,
+            "maximum_allocation",
+            probes=[2, 4, 8, 16, 24, 32, 40, 46],
+            title="Figure 7(b) - % of jobs with maximum processors <= x",
+        )
+    )
+    sections.append(
+        cdf_probe_table(
+            metrics,
+            "execution_time",
+            probes=[60, 120, 200, 300, 400, 600, 800, 1200],
+            title="Figure 7(c) - % of jobs with execution time <= x seconds",
+        )
+    )
+    sections.append(
+        cdf_probe_table(
+            metrics,
+            "response_time",
+            probes=[60, 120, 200, 300, 400, 600, 800, 1200],
+            title="Figure 7(d) - % of jobs with response time <= x seconds",
+        )
+    )
+    sections.append(
+        cdf_plot(
+            {label: m.execution_time_cdf() for label, m in metrics.items()},
+            title="Figure 7(c) as a plot - execution time CDFs",
+            x_label="execution time (s)",
+        )
+    )
+
+    # Panels (e) and (f): time series sampled over the span of the runs.
+    horizon = max(
+        (result.workload.duration for result in results.values()), default=0.0
+    )
+    window_end = max(horizon, 1.0)
+    fractions = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0)[:samples]
+    probes = [window_end * frac for frac in fractions]
+    utilization = {
+        label: [
+            m.utilization_over(0.0, window_end, samples=200)[1][min(int(frac * 199), 199)]
+            for frac in fractions
+        ]
+        for label, m in metrics.items()
+    }
+    sections.append(
+        comparison_table(
+            utilization,
+            probes,
+            title="Figure 7(e) - busy processors at selected times",
+            probe_header="time (s)",
+        )
+    )
+    activity = {}
+    for label, m in metrics.items():
+        times, counts = m.cumulative_grow_messages()
+        series = []
+        for t in probes:
+            if len(times) == 0 or (times <= t).sum() == 0:
+                series.append(0.0)
+            else:
+                series.append(float(counts[(times <= t).sum() - 1]))
+        activity[label] = series
+    sections.append(
+        comparison_table(
+            activity,
+            probes,
+            title="Figure 7(f) - cumulative grow messages at selected times",
+            probe_header="time (s)",
+        )
+    )
+    return "\n\n".join(sections)

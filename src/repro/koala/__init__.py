@@ -1,0 +1,78 @@
+"""KOALA — the multicluster grid scheduler.
+
+This package reproduces the KOALA architecture described in Section IV-A of
+the paper and its extension for malleability described in Section V:
+
+* :mod:`repro.koala.job` — the job model (jobs made of components; rigid,
+  moldable and malleable jobs following the classification of Feitelson &
+  Rudolph);
+* :mod:`repro.koala.placement` — the placement policies (Worst-Fit,
+  Close-to-Files, Cluster Minimization and Flexible Cluster Minimization);
+* :mod:`repro.koala.queue` — the placement queue with its retry threshold;
+* :mod:`repro.koala.kis` — the KOALA information service with its processor,
+  network and replica-location providers, polled periodically so background
+  load that bypasses KOALA is still taken into account;
+* :mod:`repro.koala.claiming` — the processor-claiming ledger that keeps
+  track of processors promised to placements and grows that have not yet
+  been claimed through GRAM;
+* :mod:`repro.koala.runners` — the runners framework and the runner for
+  rigid/moldable jobs;
+* :mod:`repro.koala.mrunner` — the Malleable Runner (MRunner) embedding a
+  DYNACO instance per application;
+* :mod:`repro.koala.scheduler` — the central scheduler (co-allocator +
+  processor claimer) tying everything together.
+"""
+
+from repro.koala.job import (
+    Job,
+    JobComponent,
+    JobKind,
+    JobState,
+)
+from repro.koala.placement import (
+    ClusterMinimization,
+    CloseToFiles,
+    FlexibleClusterMinimization,
+    PlacementDecision,
+    PlacementPolicy,
+    WorstFit,
+    make_placement_policy,
+)
+from repro.koala.queue import PlacementQueue, QueuedJob
+from repro.koala.kis import (
+    KoalaInformationService,
+    NetworkInformationProvider,
+    ProcessorInformationProvider,
+    ReplicaLocationService,
+)
+from repro.koala.claiming import ClaimLedger
+from repro.koala.runners import JobRunner, RigidRunner, RunnersFramework
+from repro.koala.mrunner import MalleableRunner
+from repro.koala.scheduler import KoalaScheduler, SchedulerConfig
+
+__all__ = [
+    "ClaimLedger",
+    "CloseToFiles",
+    "ClusterMinimization",
+    "FlexibleClusterMinimization",
+    "Job",
+    "JobComponent",
+    "JobKind",
+    "JobRunner",
+    "JobState",
+    "KoalaInformationService",
+    "KoalaScheduler",
+    "MalleableRunner",
+    "NetworkInformationProvider",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "PlacementQueue",
+    "ProcessorInformationProvider",
+    "QueuedJob",
+    "ReplicaLocationService",
+    "RigidRunner",
+    "RunnersFramework",
+    "SchedulerConfig",
+    "WorstFit",
+    "make_placement_policy",
+]

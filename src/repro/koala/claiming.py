@@ -1,0 +1,100 @@
+"""Processor-claiming ledger.
+
+KOALA's processor claimer (PC) makes sure that processors selected by a
+placement decision are still available when the job actually starts; without
+reservations it uses an incremental claiming policy.  In this reproduction
+claims go through GRAM with a non-zero latency, so between "the scheduler
+decided to use these processors" and "GRAM actually holds them" there is a
+window during which the same idle processors must not be promised twice —
+neither to another placement nor to a grow operation of the malleability
+manager.
+
+:class:`ClaimLedger` closes that window: the scheduler and the malleability
+manager register *pending* processor counts per cluster when they start
+claiming and clear them once GRAM has either granted or refused the
+processors.  The effective number of idle processors any decision may use is
+``cluster idle - pending``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, Optional
+
+
+_claim_ids = count(1)
+
+
+@dataclass
+class PendingClaim:
+    """Processors promised on a cluster but not yet granted by GRAM."""
+
+    cluster: str
+    processors: int
+    owner: str
+    claim_id: int = field(default_factory=lambda: next(_claim_ids))
+
+
+class ClaimLedger:
+    """Tracks processors that are promised but not yet claimed, per cluster."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, PendingClaim] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def reserve(self, cluster: str, processors: int, owner: str) -> PendingClaim:
+        """Record that *processors* on *cluster* are being claimed for *owner*."""
+        if processors < 1:
+            raise ValueError("a reservation must cover at least one processor")
+        claim = PendingClaim(cluster=cluster, processors=int(processors), owner=owner)
+        self._pending[claim.claim_id] = claim
+        return claim
+
+    def settle(self, claim: PendingClaim) -> None:
+        """Clear *claim* (GRAM has granted or definitively refused it)."""
+        self._pending.pop(claim.claim_id, None)
+
+    def adjust(self, claim: PendingClaim, processors: int) -> None:
+        """Change the size of a pending claim (e.g. partial grant so far)."""
+        if processors <= 0:
+            self.settle(claim)
+            return
+        if claim.claim_id in self._pending:
+            claim.processors = int(processors)
+
+    # -- queries -------------------------------------------------------------
+
+    def pending_on(self, cluster: str) -> int:
+        """Processors currently promised but unclaimed on *cluster*."""
+        return sum(c.processors for c in self._pending.values() if c.cluster == cluster)
+
+    def pending_total(self) -> int:
+        """Processors currently promised but unclaimed system-wide."""
+        return sum(c.processors for c in self._pending.values())
+
+    def effective_idle(self, idle_processors: Dict[str, int]) -> Dict[str, int]:
+        """Idle view with pending claims subtracted (never below zero)."""
+        return {
+            name: max(0, idle - self.pending_on(name))
+            for name, idle in idle_processors.items()
+        }
+
+    def effective_idle_in(self, cluster: str, idle: int) -> int:
+        """Effective idle processors of a single cluster."""
+        return max(0, idle - self.pending_on(cluster))
+
+    def owners_on(self, cluster: str) -> Dict[str, int]:
+        """Pending processors per owner on *cluster* (for diagnostics)."""
+        owners: Dict[str, int] = {}
+        for claim in self._pending.values():
+            if claim.cluster == cluster:
+                owners[claim.owner] = owners.get(claim.owner, 0) + claim.processors
+        return owners
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ClaimLedger {self.pending_total()} processors pending in {len(self)} claims>"

@@ -1,0 +1,253 @@
+"""The KOALA job model.
+
+Following the classification of parallel jobs the paper adopts from Feitelson
+and Rudolph (Section II-A), a job is *rigid* (fixed processor count),
+*moldable* (processor count chosen at start time, fixed afterwards) or
+*malleable* (processor count may change during execution).
+
+Within the KOALA job model a job comprises one or more *components* that can
+each run on a separate cluster (co-allocation).  The experiments of the paper
+use single-component jobs only — "we assume that every application is
+executed in a single cluster, and so, no co-allocation takes place" — but the
+job model and the placement policies support multiple components, since the
+CM and FCM policies exist precisely for co-allocated jobs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import List, Optional, Tuple
+
+from repro.apps.profiles import ApplicationProfile
+
+
+class JobKind(enum.Enum):
+    """Feitelson & Rudolph's classification of parallel jobs."""
+
+    RIGID = "rigid"
+    MOLDABLE = "moldable"
+    MALLEABLE = "malleable"
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a KOALA job."""
+
+    #: Created but not yet handed to the scheduler.
+    CREATED = "created"
+    #: Submitted; waiting in the placement queue.
+    QUEUED = "queued"
+    #: A placement decision has been made; processors are being claimed.
+    PLACING = "placing"
+    #: The application is executing.
+    RUNNING = "running"
+    #: The application completed successfully.
+    FINISHED = "finished"
+    #: The job was abandoned (placement retries exhausted or claim failures).
+    FAILED = "failed"
+
+
+@dataclass
+class JobComponent:
+    """One component of a KOALA job.
+
+    Attributes
+    ----------
+    processors:
+        Number of processors the component initially asks for.
+    input_files:
+        Names of input files the component reads; used by the Close-to-Files
+        policy together with the replica catalogue.
+    cluster:
+        Name of the cluster the component was placed on (``None`` while
+        unplaced).
+    """
+
+    processors: int
+    input_files: Tuple[str, ...] = ()
+    cluster: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("a component needs at least one processor")
+
+
+_job_ids = count(1)
+
+
+@dataclass
+class Job:
+    """A KOALA job: an application run with its scheduling metadata.
+
+    Attributes
+    ----------
+    profile:
+        The application profile this job runs.
+    kind:
+        Rigid, moldable or malleable.
+    components:
+        The job's components (a single component for all workloads evaluated
+        in the paper).
+    minimum_processors / maximum_processors:
+        Malleable jobs specify the range within which their size may vary
+        (Section II-B); ignored for rigid jobs.
+    name:
+        Optional human-readable name; defaults to ``"<profile>-<id>"``.
+    submit_time / start_time / finish_time:
+        Lifecycle timestamps filled in by the scheduler and runner.
+    placement_tries:
+        Number of failed placement attempts so far (the scheduler abandons
+        the job once this exceeds the retry threshold).
+    """
+
+    profile: ApplicationProfile
+    kind: JobKind
+    components: List[JobComponent]
+    minimum_processors: int = 2
+    maximum_processors: int = 32
+    name: str = ""
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    state: JobState = JobState.CREATED
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    placement_tries: int = 0
+    failure_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a job needs at least one component")
+        if self.minimum_processors < 1:
+            raise ValueError("minimum_processors must be >= 1")
+        if self.maximum_processors < self.minimum_processors:
+            raise ValueError("maximum_processors must be >= minimum_processors")
+        if not self.name:
+            self.name = f"{self.profile.name}-{self.job_id}"
+        if self.kind is not JobKind.MALLEABLE and len(self.components) == 1:
+            # For rigid jobs the requested size is authoritative.
+            pass
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def malleable(
+        cls,
+        profile: ApplicationProfile,
+        *,
+        initial_processors: Optional[int] = None,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+        input_files: Tuple[str, ...] = (),
+        name: str = "",
+    ) -> "Job":
+        """Create a single-component malleable job from *profile*.
+
+        Defaults follow the paper's workloads: the initial size equals the
+        minimum size (2 processors) and the maximum comes from the profile.
+        """
+        minimum = profile.default_minimum if minimum is None else minimum
+        maximum = profile.default_maximum if maximum is None else maximum
+        initial = minimum if initial_processors is None else initial_processors
+        return cls(
+            profile=profile,
+            kind=JobKind.MALLEABLE,
+            components=[JobComponent(processors=initial, input_files=input_files)],
+            minimum_processors=minimum,
+            maximum_processors=maximum,
+            name=name,
+        )
+
+    @classmethod
+    def rigid(
+        cls,
+        profile: ApplicationProfile,
+        processors: int,
+        *,
+        input_files: Tuple[str, ...] = (),
+        name: str = "",
+    ) -> "Job":
+        """Create a single-component rigid job of *processors* processors."""
+        return cls(
+            profile=profile,
+            kind=JobKind.RIGID,
+            components=[JobComponent(processors=processors, input_files=input_files)],
+            minimum_processors=processors,
+            maximum_processors=processors,
+            name=name,
+        )
+
+    @classmethod
+    def moldable(
+        cls,
+        profile: ApplicationProfile,
+        *,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+        input_files: Tuple[str, ...] = (),
+        name: str = "",
+    ) -> "Job":
+        """Create a single-component moldable job.
+
+        The scheduler chooses the size within ``[minimum, maximum]`` at start
+        time; the size never changes afterwards.
+        """
+        minimum = profile.default_minimum if minimum is None else minimum
+        maximum = profile.default_maximum if maximum is None else maximum
+        return cls(
+            profile=profile,
+            kind=JobKind.MOLDABLE,
+            components=[JobComponent(processors=minimum, input_files=input_files)],
+            minimum_processors=minimum,
+            maximum_processors=maximum,
+            name=name,
+        )
+
+    # -- derived attributes ------------------------------------------------------
+
+    @property
+    def is_malleable(self) -> bool:
+        """Whether the job can change size during execution."""
+        return self.kind is JobKind.MALLEABLE
+
+    @property
+    def total_processors(self) -> int:
+        """Sum of the processors requested by all components."""
+        return sum(component.processors for component in self.components)
+
+    @property
+    def single_component(self) -> JobComponent:
+        """The job's only component (raises for co-allocated jobs)."""
+        if len(self.components) != 1:
+            raise ValueError(f"job {self.name!r} has {len(self.components)} components")
+        return self.components[0]
+
+    @property
+    def placed(self) -> bool:
+        """Whether all components have been assigned a cluster."""
+        return all(component.cluster is not None for component in self.components)
+
+    @property
+    def response_time(self) -> float:
+        """Time from submission to completion."""
+        if self.submit_time is None or self.finish_time is None:
+            raise ValueError(f"job {self.name!r} is not finished")
+        return self.finish_time - self.submit_time
+
+    @property
+    def execution_time(self) -> float:
+        """Time from execution start to completion."""
+        if self.start_time is None or self.finish_time is None:
+            raise ValueError(f"job {self.name!r} is not finished")
+        return self.finish_time - self.start_time
+
+    def clear_placement(self) -> None:
+        """Forget any previous placement decision (used when re-queueing)."""
+        for component in self.components:
+            component.cluster = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Job {self.name!r} {self.kind.value} {self.total_processors}p "
+            f"state={self.state.value}>"
+        )

@@ -1,0 +1,150 @@
+"""The KOALA Information Service (KIS) and its providers.
+
+KOALA's scheduler does not look at clusters directly; it consults the KIS,
+which is fed by a Processor Information Provider (PIP), a Network Information
+Provider (NIP) and a Replica Location Service (RLS).  Because the PIP is
+polled *periodically*, the scheduler's view of idle processors can be
+slightly stale — which is exactly how KOALA notices background load submitted
+behind its back by local users, and why the paper's malleability manager is
+triggered from the polling loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.cluster.multicluster import Multicluster
+from repro.cluster.network import Link
+from repro.sim.core import Environment
+
+
+class ProcessorInformationProvider:
+    """PIP: reports the number of idle processors of each cluster."""
+
+    def __init__(self, multicluster: Multicluster) -> None:
+        self.multicluster = multicluster
+
+    def idle_processors(self) -> Dict[str, int]:
+        """Current idle processors per cluster (ground truth at call time)."""
+        return {cluster.name: cluster.idle_processors for cluster in self.multicluster}
+
+    def total_processors(self) -> Dict[str, int]:
+        """Total processors per cluster."""
+        return {cluster.name: cluster.total_processors for cluster in self.multicluster}
+
+
+class NetworkInformationProvider:
+    """NIP: reports link characteristics between sites."""
+
+    def __init__(self, multicluster: Multicluster) -> None:
+        self.multicluster = multicluster
+
+    def link(self, source: str, destination: str) -> Link:
+        """Current link estimate between two sites."""
+        return self.multicluster.network.link(source, destination)
+
+    def transfer_time(self, source: str, destination: str, megabytes: float) -> float:
+        """Estimated transfer time of *megabytes* MB between two sites."""
+        return self.multicluster.network.transfer_time(source, destination, megabytes)
+
+
+class ReplicaLocationService:
+    """RLS: maps logical file names to the clusters storing replicas."""
+
+    def __init__(self, multicluster: Multicluster) -> None:
+        self.multicluster = multicluster
+
+    def sites(self, file_name: str) -> Set[str]:
+        """Clusters holding a replica of *file_name*."""
+        return self.multicluster.replica_sites(file_name)
+
+    def register(self, file_name: str, cluster_name: str) -> None:
+        """Register a new replica location."""
+        self.multicluster.register_replica(file_name, cluster_name)
+
+
+@dataclass
+class KisSnapshot:
+    """One poll of the information service."""
+
+    time: float
+    idle_processors: Dict[str, int]
+
+    def total_idle(self) -> int:
+        """System-wide idle processors at the time of the snapshot."""
+        return sum(self.idle_processors.values())
+
+
+class KoalaInformationService:
+    """The KIS: periodically polled resource status used by the scheduler.
+
+    Parameters
+    ----------
+    env, multicluster:
+        Simulation environment and monitored system.
+    poll_interval:
+        Seconds between PIP polls.  The scheduler and the malleability
+        manager react to each poll (subscribe with :meth:`on_poll`).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        multicluster: Multicluster,
+        *,
+        poll_interval: float = 15.0,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.env = env
+        self.multicluster = multicluster
+        self.poll_interval = float(poll_interval)
+        self.pip = ProcessorInformationProvider(multicluster)
+        self.nip = NetworkInformationProvider(multicluster)
+        self.rls = ReplicaLocationService(multicluster)
+        self._snapshot = KisSnapshot(time=env.now, idle_processors=self.pip.idle_processors())
+        self._subscribers: List[Callable[[KisSnapshot], None]] = []
+        self._poll_process = env.process(self._poll_loop())
+
+    # -- polling --------------------------------------------------------------
+
+    def on_poll(self, callback: Callable[[KisSnapshot], None]) -> None:
+        """Register *callback* to be invoked after every PIP poll."""
+        self._subscribers.append(callback)
+
+    def poll_now(self) -> KisSnapshot:
+        """Force an immediate poll (used when jobs finish, to react faster)."""
+        self._snapshot = KisSnapshot(
+            time=self.env.now, idle_processors=self.pip.idle_processors()
+        )
+        for callback in list(self._subscribers):
+            callback(self._snapshot)
+        return self._snapshot
+
+    def _poll_loop(self):
+        while True:
+            yield self.env.timeout(self.poll_interval)
+            self.poll_now()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> KisSnapshot:
+        """The most recent snapshot (possibly stale by up to ``poll_interval``)."""
+        return self._snapshot
+
+    def idle_processors(self, fresh: bool = False) -> Dict[str, int]:
+        """Idle processors per cluster.
+
+        With ``fresh=True`` the PIP is queried directly (the scheduler does
+        this right before claiming to reduce claim failures); otherwise the
+        last snapshot is returned.
+        """
+        if fresh:
+            return self.pip.idle_processors()
+        return dict(self._snapshot.idle_processors)
+
+    def idle_in(self, cluster_name: str, fresh: bool = False) -> int:
+        """Idle processors of one cluster."""
+        return self.idle_processors(fresh=fresh).get(cluster_name, 0)

@@ -1,0 +1,106 @@
+"""The KOALA placement queue.
+
+Jobs whose placement attempt fails are appended to the tail of the placement
+queue.  The scheduler regularly scans the queue from head to tail to see
+whether any job can now be placed; each failed attempt increments the job's
+try counter, and once it exceeds a threshold the submission fails
+(Section IV-A of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.koala.job import Job
+
+
+@dataclass
+class QueuedJob:
+    """A queue entry: the job plus its queueing metadata."""
+
+    job: Job
+    enqueued_at: float
+    tries: int = 0
+    last_failure_reason: str = ""
+
+
+@dataclass
+class PlacementQueue:
+    """FIFO queue of jobs awaiting placement, with a retry threshold.
+
+    Parameters
+    ----------
+    max_tries:
+        Number of failed placement attempts after which a job's submission
+        fails.  ``None`` retries forever (useful for experiments where jobs
+        must never be dropped, e.g. the paper's workloads of 300 jobs that
+        all eventually run).
+    """
+
+    max_tries: Optional[int] = None
+    _entries: List[QueuedJob] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[QueuedJob]:
+        return iter(list(self._entries))
+
+    def __contains__(self, job: Job) -> bool:
+        return any(entry.job is job for entry in self._entries)
+
+    @property
+    def jobs(self) -> List[Job]:
+        """The queued jobs, head first."""
+        return [entry.job for entry in self._entries]
+
+    @property
+    def head(self) -> Optional[QueuedJob]:
+        """The entry at the head of the queue (``None`` when empty)."""
+        return self._entries[0] if self._entries else None
+
+    def enqueue(self, job: Job, time: float) -> QueuedJob:
+        """Append *job* to the tail of the queue."""
+        if job in self:
+            raise ValueError(f"job {job.name!r} is already queued")
+        entry = QueuedJob(job=job, enqueued_at=time)
+        self._entries.append(entry)
+        return entry
+
+    def remove(self, job: Job) -> None:
+        """Remove *job* from the queue (e.g. after successful placement)."""
+        for entry in self._entries:
+            if entry.job is job:
+                self._entries.remove(entry)
+                return
+        raise ValueError(f"job {job.name!r} is not queued")
+
+    def record_failure(self, job: Job, reason: str = "") -> bool:
+        """Record a failed placement try for *job*.
+
+        Returns ``True`` if the job has exhausted its tries and must be
+        abandoned (it is removed from the queue in that case).
+        """
+        for entry in self._entries:
+            if entry.job is job:
+                entry.tries += 1
+                entry.last_failure_reason = reason
+                job.placement_tries = entry.tries
+                if self.max_tries is not None and entry.tries >= self.max_tries:
+                    self._entries.remove(entry)
+                    return True
+                return False
+        raise ValueError(f"job {job.name!r} is not queued")
+
+    def requeue_at_tail(self, job: Job) -> None:
+        """Move *job* to the tail of the queue (after a failed try)."""
+        for entry in self._entries:
+            if entry.job is job:
+                self._entries.remove(entry)
+                self._entries.append(entry)
+                return
+        raise ValueError(f"job {job.name!r} is not queued")

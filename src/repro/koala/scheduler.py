@@ -1,0 +1,338 @@
+"""The KOALA scheduler extended with malleability support.
+
+The scheduler ties everything together: it receives job submissions through
+the runners framework, places jobs on clusters with one of the placement
+policies, keeps unplaceable jobs in the placement queue with a retry
+threshold, periodically polls the KOALA information service (so background
+load is accounted for), and hands job-management triggers to the malleability
+manager configured with one of the PRA/PWA approaches and one of the
+FPSMA/EGS policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.runtime import ExecutionRecord
+from repro.cluster.multicluster import Multicluster
+from repro.koala.claiming import ClaimLedger
+from repro.koala.job import Job, JobKind, JobState
+from repro.koala.kis import KisSnapshot, KoalaInformationService
+from repro.koala.mrunner import MalleableRunner
+from repro.koala.placement import PlacementPolicy, WorstFit, make_placement_policy
+from repro.koala.queue import PlacementQueue
+from repro.koala.runners import JobRunner, RunnersFramework
+from repro.malleability.manager import (
+    JobManagementApproach,
+    MalleabilityManager,
+    make_approach,
+)
+from repro.malleability.policies import MalleabilityPolicy, make_malleability_policy
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class SchedulerConfig:
+    """Configuration of one scheduler instance.
+
+    Attributes
+    ----------
+    placement_policy:
+        Name of the placement policy (``"WF"``, ``"CF"``, ``"CM"``, ``"FCM"``).
+        The paper's experiments all use Worst-Fit.
+    malleability_policy:
+        Name of the malleability management policy (``"FPSMA"``, ``"EGS"``,
+        ``"EQUIPARTITION"``, ``"FOLDING"``) or ``None`` to disable
+        malleability management entirely.
+    approach:
+        Job-management approach (``"PRA"`` or ``"PWA"``).
+    grow_threshold:
+        Idle processors per cluster that grow operations must leave free for
+        local users.
+    grow_offer_mode:
+        ``"released"`` (default) offers only processors that became available
+        since the last trigger; ``"idle"`` offers all effectively idle
+        processors (see
+        :class:`~repro.malleability.manager.MalleabilityManager`).
+    poll_interval:
+        Period (seconds) of the KOALA information-service poll that triggers
+        job management.
+    max_placement_tries:
+        Placement retries before a submission fails (``None`` = unlimited,
+        which the paper's experiments effectively use since all 300 jobs run).
+    adaptation_point_interval:
+        Spacing of AFPAC adaptation points inside applications.
+    """
+
+    placement_policy: str = "WF"
+    malleability_policy: Optional[str] = "FPSMA"
+    approach: str = "PRA"
+    grow_threshold: int = 0
+    grow_offer_mode: str = "released"
+    poll_interval: float = 15.0
+    max_placement_tries: Optional[int] = None
+    adaptation_point_interval: float = 2.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class KoalaScheduler:
+    """The central KOALA scheduler (co-allocator + processor claimer).
+
+    Parameters
+    ----------
+    env, multicluster:
+        Simulation environment and the system to schedule on.
+    config:
+        Scheduler configuration (defaults reproduce the paper's setup:
+        Worst-Fit placement, FPSMA policy, PRA approach).
+    streams:
+        Named random streams for application-side variability.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        multicluster: Multicluster,
+        config: Optional[SchedulerConfig] = None,
+        *,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.env = env
+        self.multicluster = multicluster
+        self.config = config or SchedulerConfig()
+        self.streams = streams or RandomStreams(seed=0)
+
+        self.placement_policy: PlacementPolicy = (
+            make_placement_policy(self.config.placement_policy)
+            if isinstance(self.config.placement_policy, str)
+            else self.config.placement_policy
+        )
+        self.kis = KoalaInformationService(
+            env, multicluster, poll_interval=self.config.poll_interval
+        )
+        self.ledger = ClaimLedger()
+        self.queue = PlacementQueue(max_tries=self.config.max_placement_tries)
+        self.runners = RunnersFramework(
+            env,
+            multicluster,
+            callbacks=self,
+            adaptation_point_interval=self.config.adaptation_point_interval,
+            rng=self.streams["applications"],
+        )
+        self.runners.register_runner_class(JobKind.MALLEABLE, MalleableRunner)
+
+        #: Runner of every job the scheduler has accepted, keyed by job id.
+        self._runners: Dict[int, JobRunner] = {}
+        #: Jobs whose application is currently executing.
+        self._running: Dict[int, Job] = {}
+        #: Completed jobs with their execution records, in completion order.
+        self.finished: List[Job] = []
+        self.records: Dict[int, ExecutionRecord] = {}
+        #: Jobs abandoned after exhausting their placement retries.
+        self.failed: List[Job] = []
+
+        # Malleability management (optional).
+        self.manager: Optional[MalleabilityManager] = None
+        self.approach: Optional[JobManagementApproach] = None
+        if self.config.malleability_policy is not None:
+            policy: MalleabilityPolicy = make_malleability_policy(self.config.malleability_policy)
+            self.manager = MalleabilityManager(
+                env,
+                self,
+                policy,
+                threshold=self.config.grow_threshold,
+                offer_mode=self.config.grow_offer_mode,
+            )
+            self.approach = make_approach(self.config.approach)
+
+        self.kis.on_poll(self._on_kis_poll)
+        self._in_trigger = False
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, job: Job) -> JobRunner:
+        """Accept *job* for scheduling; returns the runner created for it."""
+        if job.job_id in self._runners:
+            raise ValueError(f"job {job.name!r} was already submitted")
+        job.submit_time = self.env.now
+        job.state = JobState.QUEUED
+        runner = self.runners.create_runner(job)
+        self._runners[job.job_id] = runner
+        self.queue.enqueue(job, self.env.now)
+        # A submission is a job-management trigger: try to place immediately.
+        self.trigger()
+        return runner
+
+    # -- views used by the malleability manager ------------------------------------
+
+    def cluster_names(self) -> List[str]:
+        """Names of the clusters the scheduler can place jobs on."""
+        return self.multicluster.cluster_names
+
+    def effective_idle_processors(self) -> Dict[str, int]:
+        """Idle processors per cluster with pending claims subtracted."""
+        return self.ledger.effective_idle(self.kis.idle_processors(fresh=True))
+
+    def running_malleable_runners(self, cluster_name: str) -> List[MalleableRunner]:
+        """Running malleable runners placed on *cluster_name*."""
+        result: List[MalleableRunner] = []
+        for job in self._running.values():
+            runner = self._runners[job.job_id]
+            if (
+                isinstance(runner, MalleableRunner)
+                and runner.cluster_name == cluster_name
+                and runner.is_running
+            ):
+                result.append(runner)
+        return result
+
+    def running_jobs(self) -> List[Job]:
+        """Jobs currently executing."""
+        return list(self._running.values())
+
+    def queue_head(self) -> Optional[Job]:
+        """The job at the head of the placement queue (``None`` when empty)."""
+        head = self.queue.head
+        return head.job if head is not None else None
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs waiting for placement."""
+        return len(self.queue)
+
+    # -- job management triggers -----------------------------------------------------
+
+    def trigger(self) -> None:
+        """Run one round of job management (placement + malleability).
+
+        Re-entrant calls (e.g. a placement starting a job, which releases a
+        claim, which retriggers the scheduler) collapse into the outermost
+        round.
+        """
+        if self._in_trigger:
+            return
+        self._in_trigger = True
+        try:
+            if self.approach is not None and self.manager is not None:
+                self.approach.on_trigger(self, self.manager)
+            else:
+                self.scan_queue()
+        finally:
+            self._in_trigger = False
+
+    def _on_kis_poll(self, snapshot: KisSnapshot) -> None:
+        self.trigger()
+
+    # -- placement -----------------------------------------------------------------
+
+    def scan_queue(self) -> int:
+        """Scan the placement queue head to tail; place every job that fits.
+
+        Returns the number of jobs for which placement was initiated.
+        """
+        placed = 0
+        for entry in list(self.queue):
+            job = entry.job
+            if job.state is not JobState.QUEUED:
+                continue
+            if self._try_place(job):
+                placed += 1
+        return placed
+
+    def _try_place(self, job: Job) -> bool:
+        """Attempt one placement of *job*; returns ``True`` if claiming started."""
+        idle_view = self.effective_idle_processors()
+        decision = self.placement_policy.place(job, idle_view, self.multicluster)
+        if not decision.success:
+            abandoned = self.queue.record_failure(job, decision.reason)
+            if abandoned:
+                self._abandon(job, decision.reason)
+            return False
+
+        # The evaluated workloads use single-component jobs; co-allocated
+        # placements are accepted by the policies but executed one component
+        # at a time by the rigid runner only.
+        if len(decision.placements) != 1:
+            abandoned = self.queue.record_failure(
+                job, "co-allocated execution is not supported by this runner"
+            )
+            if abandoned:
+                self._abandon(job, "co-allocation not supported")
+            return False
+
+        (cluster_name, processors) = next(iter(decision.placements.values()))
+        claim = self.ledger.reserve(cluster_name, processors, owner=job.name)
+        job.state = JobState.PLACING
+        self.queue.remove(job)
+        runner = self._runners[job.job_id]
+        outcome = runner.start(cluster_name, processors, claim=claim, ledger=self.ledger)
+        self.env.process(self._placement_outcome(job, outcome))
+        return True
+
+    def _placement_outcome(self, job: Job, outcome):
+        started = yield outcome
+        if started:
+            return
+        # Claiming failed (processors disappeared between decision and claim):
+        # the job goes back to the tail of the placement queue.
+        job.state = JobState.QUEUED
+        job.clear_placement()
+        if job not in self.queue:
+            self.queue.enqueue(job, self.env.now)
+        abandoned = self.queue.record_failure(job, "claim failed")
+        if abandoned:
+            self._abandon(job, "claim failed too many times")
+
+    def _abandon(self, job: Job, reason: str) -> None:
+        job.state = JobState.FAILED
+        job.failure_reason = reason
+        self.failed.append(job)
+
+    # -- runner callbacks (SchedulerCallbacks protocol) ---------------------------------
+
+    def job_started(self, job: Job) -> None:
+        """A runner reports that *job*'s application is now executing."""
+        self._running[job.job_id] = job
+
+    def job_finished(self, job: Job, record: ExecutionRecord) -> None:
+        """A runner reports that *job* finished; its processors are free again."""
+        self._running.pop(job.job_id, None)
+        self.finished.append(job)
+        self.records[job.job_id] = record
+        # Processors became available: this is a job-management trigger.
+        self.trigger()
+
+    def job_failed(self, job: Job, reason: str) -> None:
+        """A runner reports that it definitively gave up on *job*."""
+        self._running.pop(job.job_id, None)
+        if job not in self.failed:
+            self._abandon(job, reason)
+
+    def processors_released(self, cluster_name: str) -> None:
+        """A runner released processors on *cluster_name* (shrink or voluntary)."""
+        self.trigger()
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        """Whether every submitted job has finished or failed."""
+        return len(self.finished) + len(self.failed) == len(self._runners)
+
+    def runner_for(self, job: Job) -> JobRunner:
+        """The runner created for *job*."""
+        return self._runners[job.job_id]
+
+    def execution_records(self) -> List[ExecutionRecord]:
+        """Execution records of all finished jobs, in completion order."""
+        return [self.records[job.job_id] for job in self.finished]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<KoalaScheduler policy={self.placement_policy.name} "
+            f"approach={self.config.approach if self.manager else None} "
+            f"queued={len(self.queue)} running={len(self._running)} "
+            f"finished={len(self.finished)}>"
+        )

@@ -1,0 +1,67 @@
+"""Malleability management — the paper's core contribution.
+
+Two orthogonal choices govern how KOALA exploits malleability:
+
+* the **job-management approach** decides *when* malleability actions happen:
+
+  - :class:`~repro.malleability.manager.PrecedenceToRunningApplications`
+    (PRA) grows running malleable jobs whenever processors become available
+    and never shrinks them;
+  - :class:`~repro.malleability.manager.PrecedenceToWaitingApplications`
+    (PWA) mandatorily shrinks running malleable jobs to make room for jobs
+    waiting in the placement queue, and grows only when nothing is waiting;
+
+* the **malleability management policy** decides *how* the processors are
+  spread over (or reclaimed from) the running malleable jobs of a cluster:
+
+  - :class:`~repro.malleability.policies.FPSMA` favours previously started
+    jobs (grow oldest-first, shrink youngest-first);
+  - :class:`~repro.malleability.policies.EquiGrowShrink` (EGS) spreads the
+    delta equally, remainder as a bonus to the oldest / malus to the
+    youngest;
+  - :class:`~repro.malleability.policies.Equipartition` and
+    :class:`~repro.malleability.policies.Folding` reproduce the two classic
+    baselines the paper discusses from related work, for comparison.
+
+Policies are pure planners over read-only views of the running jobs, which
+makes them unit-testable in isolation; the
+:class:`~repro.malleability.manager.MalleabilityManager` executes the plans
+through the runners and records every message for the activity metrics of
+Figures 7(f) and 8(f).
+"""
+
+from repro.malleability.policies import (
+    EGS,
+    FPSMA,
+    EquiGrowShrink,
+    Equipartition,
+    Folding,
+    GrowDirective,
+    MalleabilityPolicy,
+    ShrinkDirective,
+    make_malleability_policy,
+)
+from repro.malleability.manager import (
+    JobManagementApproach,
+    MalleabilityManager,
+    PrecedenceToRunningApplications,
+    PrecedenceToWaitingApplications,
+    make_approach,
+)
+
+__all__ = [
+    "EGS",
+    "EquiGrowShrink",
+    "Equipartition",
+    "FPSMA",
+    "Folding",
+    "GrowDirective",
+    "JobManagementApproach",
+    "MalleabilityManager",
+    "MalleabilityPolicy",
+    "PrecedenceToRunningApplications",
+    "PrecedenceToWaitingApplications",
+    "ShrinkDirective",
+    "make_approach",
+    "make_malleability_policy",
+]

@@ -1,0 +1,388 @@
+"""Malleability management policies (FPSMA, EGS and baselines).
+
+A policy answers one question: given the running malleable jobs of *one*
+cluster and a number of processors to hand out (grow) or to reclaim
+(shrink), which job gets how much?  The paper applies policies per cluster
+because every application runs inside a single cluster ("the policies are
+applied for each cluster separately").
+
+Policies are *planners*: they inspect read-only views of the running jobs
+(current allocation, start time, and what the job would accept via the
+preview protocol) and produce directives; they never touch GRAM or the
+application themselves.  The malleability manager executes the directives.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class MalleableJobView(Protocol):
+    """Read-only view of one running malleable job, as policies see it.
+
+    :class:`~repro.koala.mrunner.MalleableRunner` satisfies this protocol;
+    tests use lightweight fakes.
+    """
+
+    @property
+    def current_allocation(self) -> int:  # pragma: no cover - protocol
+        """Processors the job currently holds."""
+        ...
+
+    @property
+    def start_time(self):  # pragma: no cover - protocol
+        """When the job started executing."""
+        ...
+
+    @property
+    def reconfiguring(self) -> bool:  # pragma: no cover - protocol
+        """Whether a malleability operation is already in flight for the job."""
+        ...
+
+    def preview_grow(self, offered: int) -> int:  # pragma: no cover - protocol
+        """Additional processors the job would accept out of *offered*."""
+        ...
+
+    def preview_shrink(self, requested: int) -> int:  # pragma: no cover - protocol
+        """Processors the job would release if asked for *requested*."""
+        ...
+
+
+@dataclass(frozen=True)
+class GrowDirective:
+    """One grow message to send: offer *offered* processors to *runner*.
+
+    ``expected`` is the number of processors the job said it would accept
+    when previewed during planning; the manager reserves that many in the
+    claim ledger before executing the directive.
+    """
+
+    runner: MalleableJobView
+    offered: int
+    expected: int
+
+    def __post_init__(self) -> None:
+        if self.offered < 1:
+            raise ValueError("offered must be >= 1")
+        if self.expected < 0 or self.expected > self.offered:
+            raise ValueError("expected must lie in [0, offered]")
+
+
+@dataclass(frozen=True)
+class ShrinkDirective:
+    """One shrink message to send: reclaim *requested* processors from *runner*."""
+
+    runner: MalleableJobView
+    requested: int
+    expected: int
+
+    def __post_init__(self) -> None:
+        if self.requested < 1:
+            raise ValueError("requested must be >= 1")
+        if self.expected < 0:
+            raise ValueError("expected must be >= 0")
+
+
+def _eligible(runners: Sequence[MalleableJobView]) -> List[MalleableJobView]:
+    """Runners that can take part in an operation (not mid-reconfiguration)."""
+    return [runner for runner in runners if not runner.reconfiguring]
+
+
+def _by_start_time(
+    runners: Sequence[MalleableJobView], *, newest_first: bool = False
+) -> List[MalleableJobView]:
+    return sorted(
+        runners,
+        key=lambda r: (r.start_time if r.start_time is not None else float("inf")),
+        reverse=newest_first,
+    )
+
+
+class MalleabilityPolicy(ABC):
+    """Base class of malleability management policies."""
+
+    #: Symbolic name used in experiment configuration ("FPSMA", "EGS", ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def plan_grow(
+        self, runners: Sequence[MalleableJobView], grow_value: int
+    ) -> List[GrowDirective]:
+        """Distribute *grow_value* newly available processors over *runners*."""
+
+    @abstractmethod
+    def plan_shrink(
+        self, runners: Sequence[MalleableJobView], shrink_value: int
+    ) -> List[ShrinkDirective]:
+        """Reclaim *shrink_value* processors from *runners*."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class FPSMA(MalleabilityPolicy):
+    """Favour Previously Started Malleable Applications.
+
+    Growing starts from the earliest-started job, shrinking from the
+    latest-started one (Figure 4 of the paper).  Each job is offered the full
+    remaining amount; whatever it accepts is subtracted before moving on, and
+    the loop stops as soon as nothing remains.
+    """
+
+    name = "FPSMA"
+
+    def plan_grow(
+        self, runners: Sequence[MalleableJobView], grow_value: int
+    ) -> List[GrowDirective]:
+        directives: List[GrowDirective] = []
+        remaining = int(grow_value)
+        if remaining <= 0:
+            return directives
+        for runner in _by_start_time(_eligible(runners)):
+            if remaining <= 0:
+                break
+            accepted = runner.preview_grow(remaining)
+            if accepted <= 0:
+                continue
+            directives.append(GrowDirective(runner=runner, offered=remaining, expected=accepted))
+            remaining -= accepted
+        return directives
+
+    def plan_shrink(
+        self, runners: Sequence[MalleableJobView], shrink_value: int
+    ) -> List[ShrinkDirective]:
+        directives: List[ShrinkDirective] = []
+        remaining = int(shrink_value)
+        if remaining <= 0:
+            return directives
+        for runner in _by_start_time(_eligible(runners), newest_first=True):
+            if remaining <= 0:
+                break
+            accepted = runner.preview_shrink(remaining)
+            if accepted <= 0:
+                continue
+            directives.append(
+                ShrinkDirective(runner=runner, requested=remaining, expected=accepted)
+            )
+            remaining -= accepted
+        return directives
+
+
+class EquiGrowShrink(MalleabilityPolicy):
+    """Equi-Grow & Shrink (EGS).
+
+    The newly available (or needed) processors are divided equally over all
+    running malleable jobs; a remainder of *r* processors is given as a bonus
+    of one processor to the *r* least recently started jobs when growing, or
+    taken as a malus of one processor from the *r* most recently started jobs
+    when shrinking (Figure 5 of the paper and its accompanying text).
+
+    Unlike classic equipartition, EGS distributes only the *delta*, so jobs do
+    not converge to identical sizes — but a single invocation consistently
+    either grows or shrinks every job, never both.
+    """
+
+    name = "EGS"
+
+    def plan_grow(
+        self, runners: Sequence[MalleableJobView], grow_value: int
+    ) -> List[GrowDirective]:
+        directives: List[GrowDirective] = []
+        eligible = _by_start_time(_eligible(runners))
+        if grow_value <= 0 or not eligible:
+            return directives
+        share, remainder = divmod(int(grow_value), len(eligible))
+        for index, runner in enumerate(eligible):
+            bonus = 1 if index < remainder else 0
+            offered = share + bonus
+            if offered <= 0:
+                continue
+            accepted = runner.preview_grow(offered)
+            if accepted <= 0:
+                continue
+            directives.append(GrowDirective(runner=runner, offered=offered, expected=accepted))
+        return directives
+
+    def plan_shrink(
+        self, runners: Sequence[MalleableJobView], shrink_value: int
+    ) -> List[ShrinkDirective]:
+        directives: List[ShrinkDirective] = []
+        eligible = _by_start_time(_eligible(runners), newest_first=True)
+        if shrink_value <= 0 or not eligible:
+            return directives
+        share, remainder = divmod(int(shrink_value), len(eligible))
+        for index, runner in enumerate(eligible):
+            malus = 1 if index < remainder else 0
+            requested = share + malus
+            if requested <= 0:
+                continue
+            accepted = runner.preview_shrink(requested)
+            if accepted <= 0:
+                continue
+            directives.append(
+                ShrinkDirective(runner=runner, requested=requested, expected=accepted)
+            )
+        return directives
+
+
+#: Alias matching the paper's acronym.
+EGS = EquiGrowShrink
+
+
+class Equipartition(MalleabilityPolicy):
+    """Classic equipartition baseline (as used by AMPI).
+
+    Equipartition aims at giving every running malleable job the same number
+    of processors.  When growing, the newly available processors are offered
+    to the currently *smallest* jobs first so that allocations even out; when
+    shrinking, processors are reclaimed from the *largest* jobs first.  The
+    paper discusses this policy (and why EGS differs from it) in
+    Section V-C.2.
+    """
+
+    name = "EQUIPARTITION"
+
+    def plan_grow(
+        self, runners: Sequence[MalleableJobView], grow_value: int
+    ) -> List[GrowDirective]:
+        directives: List[GrowDirective] = []
+        eligible = _eligible(runners)
+        remaining = int(grow_value)
+        if remaining <= 0 or not eligible:
+            return directives
+        # Repeatedly give one processor to the currently smallest job until
+        # nothing is left or nobody accepts; then coalesce per-runner amounts.
+        planned = {id(runner): 0 for runner in eligible}
+        sizes = {id(runner): runner.current_allocation for runner in eligible}
+        progress = True
+        while remaining > 0 and progress:
+            progress = False
+            for runner in sorted(eligible, key=lambda r: sizes[id(r)]):
+                already = planned[id(runner)]
+                accepted = runner.preview_grow(already + 1)
+                if accepted <= already:
+                    continue
+                planned[id(runner)] = already + 1
+                sizes[id(runner)] += 1
+                remaining -= 1
+                progress = True
+                break  # re-sort: always feed the smallest job first
+        for runner in eligible:
+            amount = planned[id(runner)]
+            if amount > 0:
+                accepted = runner.preview_grow(amount)
+                if accepted > 0:
+                    directives.append(
+                        GrowDirective(runner=runner, offered=amount, expected=accepted)
+                    )
+        return directives
+
+    def plan_shrink(
+        self, runners: Sequence[MalleableJobView], shrink_value: int
+    ) -> List[ShrinkDirective]:
+        directives: List[ShrinkDirective] = []
+        eligible = _eligible(runners)
+        remaining = int(shrink_value)
+        if remaining <= 0 or not eligible:
+            return directives
+        planned = {id(runner): 0 for runner in eligible}
+        sizes = {id(runner): runner.current_allocation for runner in eligible}
+        progress = True
+        while remaining > 0 and progress:
+            progress = False
+            for runner in sorted(eligible, key=lambda r: -sizes[id(r)]):
+                already = planned[id(runner)]
+                accepted = runner.preview_shrink(already + 1)
+                if accepted <= already:
+                    continue
+                planned[id(runner)] = already + 1
+                sizes[id(runner)] -= 1
+                remaining -= 1
+                progress = True
+                break  # re-sort: always take from the largest job first
+        for runner in eligible:
+            amount = planned[id(runner)]
+            if amount > 0:
+                accepted = runner.preview_shrink(amount)
+                if accepted > 0:
+                    directives.append(
+                        ShrinkDirective(runner=runner, requested=amount, expected=accepted)
+                    )
+        return directives
+
+
+class Folding(MalleabilityPolicy):
+    """Folding/unfolding baseline (Utrera et al., McCann & Zahorjan).
+
+    Growing *unfolds* a job by doubling its allocation; shrinking *folds* it
+    by halving.  Growing favours the earliest-started job that can be doubled
+    within the available processors; shrinking folds the most recently
+    started jobs first.  The paper argues this policy only suits execution
+    models where process counts are restricted to powers of two, which is why
+    it serves as a baseline here rather than as a contribution.
+    """
+
+    name = "FOLDING"
+
+    def plan_grow(
+        self, runners: Sequence[MalleableJobView], grow_value: int
+    ) -> List[GrowDirective]:
+        directives: List[GrowDirective] = []
+        remaining = int(grow_value)
+        if remaining <= 0:
+            return directives
+        for runner in _by_start_time(_eligible(runners)):
+            if remaining <= 0:
+                break
+            current = runner.current_allocation
+            if current < 1 or current > remaining:
+                continue
+            # Offer exactly one doubling.
+            accepted = runner.preview_grow(current)
+            if accepted <= 0:
+                continue
+            directives.append(GrowDirective(runner=runner, offered=current, expected=accepted))
+            remaining -= accepted
+        return directives
+
+    def plan_shrink(
+        self, runners: Sequence[MalleableJobView], shrink_value: int
+    ) -> List[ShrinkDirective]:
+        directives: List[ShrinkDirective] = []
+        remaining = int(shrink_value)
+        if remaining <= 0:
+            return directives
+        for runner in _by_start_time(_eligible(runners), newest_first=True):
+            if remaining <= 0:
+                break
+            current = runner.current_allocation
+            half = current // 2
+            if half < 1:
+                continue
+            accepted = runner.preview_shrink(half)
+            if accepted <= 0:
+                continue
+            directives.append(ShrinkDirective(runner=runner, requested=half, expected=accepted))
+            remaining -= accepted
+        return directives
+
+
+_POLICIES = {
+    "FPSMA": FPSMA,
+    "EGS": EquiGrowShrink,
+    "EQUIPARTITION": Equipartition,
+    "FOLDING": Folding,
+}
+
+
+def make_malleability_policy(name: str) -> MalleabilityPolicy:
+    """Instantiate a malleability policy by symbolic name."""
+    try:
+        return _POLICIES[name.upper()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown malleability policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None

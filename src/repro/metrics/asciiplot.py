@@ -1,0 +1,144 @@
+"""Plain-text plotting helpers.
+
+The evaluation figures of the paper are line plots (CDFs, utilization over
+time, cumulative activity).  This reproduction runs in terminal-only
+environments, so the report layer can render small ASCII plots next to the
+numeric tables: enough to *see* which curve sits above which, which is all
+the qualitative comparison needs.
+
+Only standard characters are used so the output survives logs, CI consoles
+and ``pytest -s`` captures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+#: Characters used to distinguish the series of one plot, in legend order.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    """Map *value* in ``[low, high]`` onto an integer cell index in ``[0, steps-1]``."""
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return int(round(fraction * (steps - 1)))
+
+
+def ascii_plot(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render several ``(x, y)`` series as one ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping from legend label to ``(xs, ys)`` pairs.  Series may have
+        different lengths; empty series are skipped.
+    width, height:
+        Plot area size in character cells (excluding axes and legend).
+    title, x_label, y_label:
+        Optional decorations.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("the plot area must be at least 8x4 characters")
+    populated = {
+        label: (np.asarray(xs, dtype=float), np.asarray(ys, dtype=float))
+        for label, (xs, ys) in series.items()
+        if len(xs) and len(ys)
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not populated:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    x_min = min(float(xs.min()) for xs, _ in populated.values())
+    x_max = max(float(xs.max()) for xs, _ in populated.values())
+    y_min = min(float(ys.min()) for _, ys in populated.values())
+    y_max = max(float(ys.max()) for _, ys in populated.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(populated.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        for x, y in zip(xs, ys):
+            column = _scale(float(x), x_min, x_max, width)
+            row = height - 1 - _scale(float(y), y_min, y_max, height)
+            grid[row][column] = marker
+
+    y_labels = [f"{y_max:9.1f}"] + ["         "] * (height - 2) + [f"{y_min:9.1f}"]
+    for row_index, row in enumerate(grid):
+        lines.append(f"{y_labels[row_index]} |{''.join(row)}|")
+    lines.append(" " * 10 + "-" * (width + 2))
+    x_axis = f"{x_min:<12.1f}{x_label:^{max(0, width - 24)}}{x_max:>12.1f}"
+    lines.append(" " * 10 + x_axis)
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    legend = "   ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]} {label}"
+        for i, label in enumerate(populated)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    cdfs: Mapping[str, "object"],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Render several :class:`~repro.metrics.cdf.EmpiricalCDF` objects.
+
+    The y axis is the cumulative percentage of jobs, exactly as in the
+    paper's figures.
+    """
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {}
+    for label, cdf in cdfs.items():
+        xs, ys = cdf.step_points()
+        series[label] = (xs, ys)
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        x_label=x_label,
+        y_label="cumulative number of jobs (%)",
+    )
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """A one-line summary of a series (min/max normalised bar heights).
+
+    Useful to eyeball utilization traces inside log output without a full
+    plot: ``sparkline(metrics.utilization_over(0, end)[1])``.
+    """
+    bars = " .:-=+*#%@"
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return ""
+    if data.size > width:
+        # Downsample by averaging consecutive chunks.
+        chunks = np.array_split(data, width)
+        data = np.asarray([chunk.mean() for chunk in chunks])
+    low, high = float(data.min()), float(data.max())
+    if high == low:
+        return bars[1] * data.size
+    indices = ((data - low) / (high - low) * (len(bars) - 1)).round().astype(int)
+    return "".join(bars[i] for i in indices)

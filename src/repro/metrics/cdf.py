@@ -1,0 +1,127 @@
+"""Empirical cumulative distribution functions.
+
+All of the paper's per-job results are presented as CDFs ("cumulative number
+of jobs (%)" against a metric).  :class:`EmpiricalCDF` is a small, dependency
+light implementation with exactly the operations the figures and their
+regression tests need: evaluation at arbitrary points, percentiles/medians,
+and export of plot-ready step points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """The empirical distribution of a sample of values."""
+
+    values: Tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "EmpiricalCDF":
+        """Build a CDF from any iterable of numbers."""
+        cleaned = tuple(sorted(float(v) for v in values))
+        return cls(values=cleaned)
+
+    def __post_init__(self) -> None:
+        if list(self.values) != sorted(self.values):
+            object.__setattr__(self, "values", tuple(sorted(self.values)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the sample is empty."""
+        return not self.values
+
+    # -- evaluation -----------------------------------------------------------
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """F(x): fraction of values that are <= *x* (0 for an empty sample)."""
+        if not self.values:
+            return 0.0
+        idx = int(np.searchsorted(np.asarray(self.values), x, side="right"))
+        return idx / len(self.values)
+
+    def percent_at_or_below(self, x: float) -> float:
+        """F(x) expressed in percent, as plotted in the paper's figures."""
+        return 100.0 * self.fraction_at_or_below(x)
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile of the sample (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must lie in [0, 100]")
+        if not self.values:
+            raise ValueError("cannot take a percentile of an empty sample")
+        return float(np.percentile(np.asarray(self.values), q))
+
+    @property
+    def median(self) -> float:
+        """The median of the sample."""
+        return self.percentile(50.0)
+
+    @property
+    def mean(self) -> float:
+        """The mean of the sample."""
+        if not self.values:
+            raise ValueError("cannot take the mean of an empty sample")
+        return float(np.mean(np.asarray(self.values)))
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value."""
+        if not self.values:
+            raise ValueError("empty sample")
+        return self.values[0]
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value."""
+        if not self.values:
+            raise ValueError("empty sample")
+        return self.values[-1]
+
+    # -- export ---------------------------------------------------------------
+
+    def step_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Plot-ready points ``(x, percent of jobs <= x)``, one per observation."""
+        if not self.values:
+            return np.asarray([]), np.asarray([])
+        xs = np.asarray(self.values, dtype=float)
+        ys = 100.0 * np.arange(1, len(xs) + 1) / len(xs)
+        return xs, ys
+
+    def sampled(self, xs: Sequence[float]) -> List[float]:
+        """Percent of jobs at or below each of *xs* (for table rendering)."""
+        return [self.percent_at_or_below(x) for x in xs]
+
+    def dominates(self, other: "EmpiricalCDF", at: Sequence[float]) -> bool:
+        """Whether this CDF lies at or above *other* at every probe point.
+
+        "Lies above" means a larger fraction of jobs has values at or below
+        the probe — i.e. for metrics where smaller is better (execution time,
+        response time), the dominating distribution is the better one.
+        """
+        return all(
+            self.fraction_at_or_below(x) >= other.fraction_at_or_below(x) for x in at
+        )
+
+
+def cdf_points(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper: plot-ready CDF points of *values*."""
+    return EmpiricalCDF.from_values(values).step_points()
+
+
+def fraction_at_or_below(values: Iterable[float], x: float) -> float:
+    """Convenience wrapper: F(x) of *values*."""
+    return EmpiricalCDF.from_values(values).fraction_at_or_below(x)
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Convenience wrapper: the *q*-th percentile of *values*."""
+    return EmpiricalCDF.from_values(values).percentile(q)

@@ -1,0 +1,261 @@
+"""Collecting the metrics of one experiment run.
+
+:class:`ExperimentMetrics` is built from a finished scheduler run (scheduler,
+multicluster and malleability manager) and exposes every quantity the paper's
+figures plot, already in the right form:
+
+* per-job metrics joined into :class:`JobMetrics` records,
+* CDFs of average/maximum allocation and execution/response times
+  (per application or combined),
+* the system-wide utilization step function,
+* the cumulative malleability-manager activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.runtime import ExecutionRecord
+from repro.cluster.multicluster import Multicluster
+from repro.koala.job import Job, JobKind
+from repro.koala.scheduler import KoalaScheduler
+from repro.metrics.cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Per-job quantities used by the evaluation figures."""
+
+    name: str
+    profile: str
+    kind: str
+    submit_time: float
+    start_time: float
+    finish_time: float
+    average_allocation: float
+    maximum_allocation: int
+    grow_count: int
+    shrink_count: int
+
+    @property
+    def execution_time(self) -> float:
+        """Wall-clock execution time (start to finish)."""
+        return self.finish_time - self.start_time
+
+    @property
+    def response_time(self) -> float:
+        """Wall-clock response time (submit to finish)."""
+        return self.finish_time - self.submit_time
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent waiting in the placement queue."""
+        return self.start_time - self.submit_time
+
+    @classmethod
+    def from_record(cls, job: Job, record: ExecutionRecord) -> "JobMetrics":
+        """Join a job description with its execution record."""
+        return cls(
+            name=job.name,
+            profile=job.profile.name,
+            kind=job.kind.value,
+            submit_time=float(record.submit_time if record.submit_time is not None else 0.0),
+            start_time=float(record.start_time if record.start_time is not None else 0.0),
+            finish_time=float(record.finish_time if record.finish_time is not None else 0.0),
+            average_allocation=record.average_allocation,
+            maximum_allocation=record.maximum_allocation,
+            grow_count=record.grow_count,
+            shrink_count=record.shrink_count,
+        )
+
+
+class ExperimentMetrics:
+    """All metrics of one finished experiment run."""
+
+    def __init__(
+        self,
+        jobs: List[JobMetrics],
+        *,
+        utilization: Tuple[np.ndarray, np.ndarray],
+        grow_activity: Tuple[np.ndarray, np.ndarray],
+        shrink_activity: Tuple[np.ndarray, np.ndarray],
+        unfinished_jobs: int = 0,
+        label: str = "",
+    ) -> None:
+        self.jobs = list(jobs)
+        self.utilization = utilization
+        self.grow_activity = grow_activity
+        self.shrink_activity = shrink_activity
+        self.unfinished_jobs = int(unfinished_jobs)
+        self.label = label
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_run(
+        cls,
+        scheduler: KoalaScheduler,
+        multicluster: Multicluster,
+        *,
+        label: str = "",
+    ) -> "ExperimentMetrics":
+        """Collect metrics from a finished (or stopped) scheduler run."""
+        jobs = [
+            JobMetrics.from_record(job, scheduler.records[job.job_id])
+            for job in scheduler.finished
+        ]
+        manager = scheduler.manager
+        if manager is not None:
+            grow_activity = manager.grow_messages.cumulative()
+            shrink_activity = manager.shrink_messages.cumulative()
+        else:
+            empty = (np.asarray([]), np.asarray([]))
+            grow_activity, shrink_activity = empty, empty
+        unfinished = (
+            len(scheduler.running_jobs()) + scheduler.queue_length + len(scheduler.failed)
+        )
+        return cls(
+            jobs,
+            utilization=multicluster.utilization_series("grid"),
+            grow_activity=grow_activity,
+            shrink_activity=shrink_activity,
+            unfinished_jobs=unfinished,
+            label=label,
+        )
+
+    # -- selection ---------------------------------------------------------------
+
+    def select(
+        self, *, profile: Optional[str] = None, kind: Optional[str] = None
+    ) -> List[JobMetrics]:
+        """Jobs filtered by application profile and/or job kind."""
+        result = self.jobs
+        if profile is not None:
+            result = [job for job in result if job.profile == profile]
+        if kind is not None:
+            result = [job for job in result if job.kind == kind]
+        return list(result)
+
+    @property
+    def job_count(self) -> int:
+        """Number of finished jobs included in the metrics."""
+        return len(self.jobs)
+
+    @property
+    def malleable_jobs(self) -> List[JobMetrics]:
+        """The finished malleable jobs."""
+        return self.select(kind=JobKind.MALLEABLE.value)
+
+    # -- figure data ----------------------------------------------------------------
+
+    def average_allocation_cdf(self, **selection) -> EmpiricalCDF:
+        """CDF of the per-job time-averaged processor count (Figures 7(a)/8(a))."""
+        return EmpiricalCDF.from_values(
+            job.average_allocation for job in self.select(**selection)
+        )
+
+    def maximum_allocation_cdf(self, **selection) -> EmpiricalCDF:
+        """CDF of the per-job maximum processor count (Figures 7(b)/8(b))."""
+        return EmpiricalCDF.from_values(
+            job.maximum_allocation for job in self.select(**selection)
+        )
+
+    def execution_time_cdf(self, **selection) -> EmpiricalCDF:
+        """CDF of job execution times (Figures 7(c)/8(c))."""
+        return EmpiricalCDF.from_values(job.execution_time for job in self.select(**selection))
+
+    def response_time_cdf(self, **selection) -> EmpiricalCDF:
+        """CDF of job response times (Figures 7(d)/8(d))."""
+        return EmpiricalCDF.from_values(job.response_time for job in self.select(**selection))
+
+    def wait_time_cdf(self, **selection) -> EmpiricalCDF:
+        """CDF of job wait times (not plotted in the paper, useful for analysis)."""
+        return EmpiricalCDF.from_values(job.wait_time for job in self.select(**selection))
+
+    def utilization_over(self, start: float, end: float, samples: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """Utilization sampled over ``[start, end]`` (Figures 7(e)/8(e))."""
+        if end <= start:
+            raise ValueError("end must be greater than start")
+        times, values = self.utilization
+        if len(times) == 0:
+            xs = np.linspace(start, end, samples)
+            return xs, np.zeros_like(xs)
+        xs = np.linspace(start, end, samples)
+        indices = np.searchsorted(times, xs, side="right") - 1
+        ys = np.where(indices >= 0, values[np.clip(indices, 0, len(values) - 1)], 0.0)
+        return xs, ys
+
+    def mean_utilization(self, start: float, end: float) -> float:
+        """Time-averaged number of busy processors over ``[start, end]``."""
+        xs, ys = self.utilization_over(start, end, samples=2000)
+        return float(np.mean(ys))
+
+    def peak_utilization(self) -> float:
+        """Largest number of processors used simultaneously by grid jobs."""
+        _, values = self.utilization
+        return float(values.max()) if len(values) else 0.0
+
+    def cumulative_grow_messages(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative grow messages over time (Figure 7(f))."""
+        return self.grow_activity
+
+    def cumulative_operations(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative malleability operations (grow + shrink) over time (Figure 8(f))."""
+        g_times, g_counts = self.grow_activity
+        s_times, s_counts = self.shrink_activity
+        if len(g_times) == 0 and len(s_times) == 0:
+            return np.asarray([]), np.asarray([])
+        events = sorted(
+            [(t, 1) for t in g_times] + [(t, 1) for t in s_times], key=lambda pair: pair[0]
+        )
+        times = np.asarray([t for t, _ in events])
+        counts = np.cumsum([c for _, c in events]).astype(float)
+        return times, counts
+
+    @property
+    def total_grow_messages(self) -> int:
+        """Total number of grow messages sent during the run."""
+        _, counts = self.grow_activity
+        return int(counts[-1]) if len(counts) else 0
+
+    @property
+    def total_shrink_messages(self) -> int:
+        """Total number of shrink messages sent during the run."""
+        _, counts = self.shrink_activity
+        return int(counts[-1]) if len(counts) else 0
+
+    # -- summary -------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics of the run (used by reports and benchmarks)."""
+        if not self.jobs:
+            return {
+                "jobs": 0,
+                "unfinished": float(self.unfinished_jobs),
+                "mean_execution_time": float("nan"),
+                "mean_response_time": float("nan"),
+                "mean_average_allocation": float("nan"),
+                "mean_maximum_allocation": float("nan"),
+                "grow_messages": float(self.total_grow_messages),
+                "shrink_messages": float(self.total_shrink_messages),
+                "peak_utilization": self.peak_utilization(),
+            }
+        return {
+            "jobs": float(len(self.jobs)),
+            "unfinished": float(self.unfinished_jobs),
+            "mean_execution_time": float(np.mean([j.execution_time for j in self.jobs])),
+            "mean_response_time": float(np.mean([j.response_time for j in self.jobs])),
+            "median_execution_time": float(np.median([j.execution_time for j in self.jobs])),
+            "median_response_time": float(np.median([j.response_time for j in self.jobs])),
+            "mean_average_allocation": float(np.mean([j.average_allocation for j in self.jobs])),
+            "mean_maximum_allocation": float(np.mean([j.maximum_allocation for j in self.jobs])),
+            "grow_messages": float(self.total_grow_messages),
+            "shrink_messages": float(self.total_shrink_messages),
+            "peak_utilization": self.peak_utilization(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ExperimentMetrics {self.label!r}: {len(self.jobs)} jobs>"

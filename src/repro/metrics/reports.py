@@ -1,0 +1,166 @@
+"""Plain-text and CSV reports of experiment results.
+
+The benchmark harness regenerates each of the paper's figures as a table of
+series (one column per policy/workload combination), printed as aligned text
+so the qualitative comparisons — who wins, where the curves sit — can be read
+straight from the benchmark output.  CSV export allows plotting with any
+external tool.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.metrics.collector import ExperimentMetrics
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    rendered_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def summary_table(metrics_by_label: Mapping[str, ExperimentMetrics], *, title: str = "") -> str:
+    """One row of headline statistics per experiment configuration."""
+    headers = [
+        "configuration",
+        "jobs",
+        "mean exec (s)",
+        "mean resp (s)",
+        "mean avg procs",
+        "mean max procs",
+        "grow msgs",
+        "shrink msgs",
+        "peak util",
+    ]
+    rows = []
+    for label, metrics in metrics_by_label.items():
+        summary = metrics.summary()
+        rows.append(
+            [
+                label,
+                int(summary["jobs"]),
+                summary.get("mean_execution_time", float("nan")),
+                summary.get("mean_response_time", float("nan")),
+                summary.get("mean_average_allocation", float("nan")),
+                summary.get("mean_maximum_allocation", float("nan")),
+                int(summary["grow_messages"]),
+                int(summary["shrink_messages"]),
+                summary["peak_utilization"],
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def comparison_table(
+    series_by_label: Mapping[str, Sequence[float]],
+    probes: Sequence[float],
+    *,
+    title: str = "",
+    probe_header: str = "x",
+) -> str:
+    """Render several series sampled at the same probe points side by side.
+
+    This is the text analogue of overlaying several CDFs in one plot: each
+    row is a probe point, each column one policy/workload combination.
+    """
+    headers = [probe_header] + list(series_by_label.keys())
+    rows = []
+    for index, probe in enumerate(probes):
+        row: List[object] = [probe]
+        for label in series_by_label:
+            series = series_by_label[label]
+            row.append(series[index] if index < len(series) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def metrics_to_csv(metrics: ExperimentMetrics) -> str:
+    """Per-job CSV export of one experiment run."""
+    buffer = io.StringIO()
+    buffer.write(
+        "name,profile,kind,submit_time,start_time,finish_time,"
+        "execution_time,response_time,average_allocation,maximum_allocation,"
+        "grow_count,shrink_count\n"
+    )
+    for job in metrics.jobs:
+        buffer.write(
+            f"{job.name},{job.profile},{job.kind},{job.submit_time:.3f},"
+            f"{job.start_time:.3f},{job.finish_time:.3f},{job.execution_time:.3f},"
+            f"{job.response_time:.3f},{job.average_allocation:.3f},"
+            f"{job.maximum_allocation},{job.grow_count},{job.shrink_count}\n"
+        )
+    return buffer.getvalue()
+
+
+def activity_csv(metrics_by_label: Mapping[str, ExperimentMetrics]) -> str:
+    """CSV of cumulative malleability activity per configuration."""
+    buffer = io.StringIO()
+    buffer.write("configuration,time,cumulative_operations\n")
+    for label, metrics in metrics_by_label.items():
+        times, counts = metrics.cumulative_operations()
+        for time, count in zip(times, counts):
+            buffer.write(f"{label},{time:.3f},{count:.0f}\n")
+    return buffer.getvalue()
+
+
+def utilization_csv(
+    metrics_by_label: Mapping[str, ExperimentMetrics], start: float, end: float, samples: int = 100
+) -> str:
+    """CSV of the utilization curves of several configurations."""
+    buffer = io.StringIO()
+    buffer.write("configuration,time,busy_processors\n")
+    for label, metrics in metrics_by_label.items():
+        times, values = metrics.utilization_over(start, end, samples=samples)
+        for time, value in zip(times, values):
+            buffer.write(f"{label},{time:.3f},{value:.1f}\n")
+    return buffer.getvalue()
+
+
+def cdf_probe_table(
+    metrics_by_label: Mapping[str, ExperimentMetrics],
+    metric: str,
+    probes: Sequence[float],
+    *,
+    title: str = "",
+) -> str:
+    """Probe several runs' CDF of *metric* at the same points.
+
+    *metric* is one of ``"average_allocation"``, ``"maximum_allocation"``,
+    ``"execution_time"``, ``"response_time"``.
+    """
+    accessor = {
+        "average_allocation": lambda m: m.average_allocation_cdf(),
+        "maximum_allocation": lambda m: m.maximum_allocation_cdf(),
+        "execution_time": lambda m: m.execution_time_cdf(),
+        "response_time": lambda m: m.response_time_cdf(),
+    }
+    try:
+        getter = accessor[metric]
+    except KeyError:
+        raise ValueError(f"unknown metric {metric!r}; known: {sorted(accessor)}") from None
+    series: Dict[str, List[float]] = {}
+    for label, metrics in metrics_by_label.items():
+        cdf = getter(metrics)
+        series[label] = cdf.sampled(probes) if not cdf.empty else [float("nan")] * len(probes)
+    return comparison_table(series, probes, title=title, probe_header=metric)

@@ -1,0 +1,195 @@
+"""Simulation environment: clock, event heap and execution loop.
+
+The :class:`Environment` is the only stateful object a simulation needs to
+share: it keeps the current simulated time, a heap of scheduled events and
+the currently active process.  Everything else (clusters, schedulers,
+applications) is expressed in terms of processes and events bound to an
+environment.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from math import inf
+from typing import Any, Iterable, Optional, Union
+
+from repro.sim.events import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessGenerator
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no more events are scheduled."""
+
+
+class StopSimulation(Exception):
+    """Internal exception used to stop :meth:`Environment.run` at an event.
+
+    The exception value carries the value of the event the run stopped at.
+    """
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        """Event callback that aborts the run loop when *event* is processed."""
+        if event.ok:
+            raise cls(event.value)
+        # Propagate failures of the "until" event.
+        raise event.value
+
+
+class Environment:
+    """Execution environment of a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.  Time is measured in seconds
+        throughout this project.
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(10)
+    ...     return env.now
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> p.value
+    10
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process whose generator is currently executing (if any)."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Create a new :class:`~repro.sim.process.Process` from *generator*."""
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event that triggers after *delay* time units."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a new, untriggered :class:`~repro.sim.events.Event`."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Return a condition event that succeeds when all *events* have."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Return a condition event that succeeds when any of *events* has."""
+        return AnyOf(self, events)
+
+    # -- scheduling and execution -----------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule *event* for processing after *delay* time units.
+
+        Events scheduled for the same time are processed in priority order
+        (lower first), then in insertion order.
+        """
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Return the time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else inf
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events are scheduled.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An event failed and nobody handled it: surface the error so the
+            # simulation does not silently swallow programming mistakes.
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(f"event {event!r} failed with non-exception {exc!r}")
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue is exhausted;
+            * a number — run until the clock reaches that time;
+            * an :class:`~repro.sim.events.Event` — run until that event is
+              processed and return its value.
+
+        Returns
+        -------
+        The value of the *until* event if one was given, otherwise ``None``.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed: nothing to run.
+                    return stop_event.value
+                stop_event.callbacks.append(StopSimulation.callback)
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(
+                        f"until ({at}) must be greater than the current time ({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks.append(StopSimulation.callback)
+                self.schedule(stop_event, priority=URGENT, delay=at - self._now)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise RuntimeError(
+                    f"no scheduled events left but the until event {stop_event!r} "
+                    "was never triggered"
+                ) from None
+            return None

@@ -1,0 +1,146 @@
+"""Process abstraction for the discrete-event simulation kernel.
+
+A :class:`Process` wraps a Python generator.  The generator *yields* events;
+every time the yielded event is processed by the environment, the generator
+is resumed with the event's value (or the event's exception is thrown into
+it).  When the generator returns, the process event itself succeeds with the
+generator's return value, so processes can wait on each other simply by
+yielding another process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import PENDING, Event, Initialize, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+#: Type alias for the generators accepted by :meth:`Environment.process`.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A simulation process driven by a generator of events.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.
+    generator:
+        A generator yielding :class:`~repro.sim.events.Event` instances.
+
+    Notes
+    -----
+    The process itself is an event that triggers when the generator
+    terminates: it succeeds with the generator's return value, or fails with
+    the exception that escaped the generator.  A process can be interrupted
+    with :meth:`interrupt`, which throws :class:`~repro.sim.events.Interrupt`
+    into the generator at its current yield point.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting for (initially the
+        #: internal :class:`Initialize` event, ``None`` after termination).
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped generator function (for diagnostics)."""
+        return getattr(self._generator, "__name__", repr(self._generator))
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the wrapped generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` with *cause* into the process.
+
+        Interrupting a terminated process or a process that is interrupting
+        itself is an error.  The interrupt is delivered asynchronously via an
+        urgent event so that the caller's own execution is not pre-empted.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self.name} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        # Deliver before any other event scheduled at the current time.
+        self.env.schedule(interrupt_event, priority=0)
+
+        # Swap the process' resume callback onto the interrupt event.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        interrupt_event.callbacks = [self._resume]
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value (or exception) of *event*."""
+        env = self.env
+        env._active_process = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: mark it as handled and throw the
+                    # exception into the generator.
+                    event.defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Process finished successfully.
+                event = None  # type: ignore[assignment]
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                # Process failed; the environment will re-raise unless a
+                # waiter defuses the failure.
+                event = None  # type: ignore[assignment]
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            # The generator yielded a new event to wait for.
+            if not isinstance(next_event, Event):
+                self._generator.throw(
+                    TypeError(
+                        f"process {self.name} yielded {next_event!r}, "
+                        "which is not an Event"
+                    )
+                )
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # The event has already been processed: resume immediately with
+            # its value in the next loop iteration.
+            event = next_event
+
+        self._target = None if event is None else self._target
+        env._active_process = None

@@ -1,0 +1,380 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three families of resources are provided:
+
+* :class:`Resource` / :class:`PriorityResource` — a counted resource with a
+  fixed integer capacity; processes *request* a unit and *release* it later.
+  Requests may be used as context managers.
+* :class:`Container` — a continuous or discrete quantity (e.g. a pool of
+  processors modelled as an amount) with ``put``/``get`` operations.
+* :class:`Store` / :class:`FilterStore` — a queue of arbitrary Python
+  objects with ``put``/``get`` operations; the filtered variant lets getters
+  wait for items satisfying a predicate.
+
+These primitives are intentionally close to the classic process-interaction
+APIs so the higher-level cluster and scheduler code reads naturally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+
+class PreemptedError(Exception):
+    """Raised (as an interrupt cause) when a pre-emptive request evicts a user."""
+
+    def __init__(self, by: Any, usage_since: float) -> None:
+        super().__init__(by, usage_since)
+        #: The request that caused the pre-emption.
+        self.by = by
+        #: Simulation time at which the evicted user acquired the resource.
+        self.usage_since = usage_since
+
+
+class Put(Event):
+    """Base class for put-style resource events (request/put)."""
+
+    def __init__(self, resource: "BaseResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc = resource.env.active_process
+        resource.put_queue.append(self)
+        self.callbacks.append(resource._trigger_get)
+        resource._trigger_put(None)
+
+    def __enter__(self) -> "Put":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the pending operation (or undo it, for requests)."""
+        if not self.triggered:
+            self.resource.put_queue.remove(self)
+
+
+class Get(Event):
+    """Base class for get-style resource events (release/get)."""
+
+    def __init__(self, resource: "BaseResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.proc = resource.env.active_process
+        resource.get_queue.append(self)
+        self.callbacks.append(resource._trigger_put)
+        resource._trigger_get(None)
+
+    def __enter__(self) -> "Get":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the pending operation."""
+        if not self.triggered:
+            self.resource.get_queue.remove(self)
+
+
+class BaseResource:
+    """Shared machinery for all resource types (queues and trigger logic)."""
+
+    PutQueue = list
+    GetQueue = list
+
+    def __init__(self, env: "Environment", capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.put_queue: list[Put] = self.PutQueue()
+        self.get_queue: list[Get] = self.GetQueue()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum capacity of the resource."""
+        return self._capacity
+
+    # The following two methods walk the waiting queues and trigger any
+    # operation that can now be satisfied.
+
+    def _do_put(self, event: Put) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _do_get(self, event: Get) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _trigger_put(self, get_event: Optional[Get]) -> None:
+        idx = 0
+        while idx < len(self.put_queue):
+            put_event = self.put_queue[idx]
+            proceed = self._do_put(put_event)
+            if put_event.triggered:
+                self.put_queue.pop(idx)
+            else:
+                idx += 1
+            if not proceed:
+                break
+
+    def _trigger_get(self, put_event: Optional[Put]) -> None:
+        idx = 0
+        while idx < len(self.get_queue):
+            get_event = self.get_queue[idx]
+            proceed = self._do_get(get_event)
+            if get_event.triggered:
+                self.get_queue.pop(idx)
+            else:
+                idx += 1
+            if not proceed:
+                break
+
+
+# ---------------------------------------------------------------------------
+# Counted resource
+# ---------------------------------------------------------------------------
+
+
+class Request(Put):
+    """Request one usage slot of a :class:`Resource`.
+
+    The event succeeds once a slot is granted.  Exiting the ``with`` block (or
+    calling :meth:`cancel` after the grant) releases the slot again.
+    """
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            super().__exit__(exc_type, exc_value, traceback)
+
+
+class Release(Get):
+    """Release a previously granted :class:`Request` of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        self.request = request
+        super().__init__(resource)
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` with a priority (lower value = more important).
+
+    Ties are broken by request time, then insertion order.
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0, preempt: bool = False) -> None:
+        self.priority = priority
+        self.preempt = preempt
+        self.time = resource.env.now
+        self.usage_since: Optional[float] = None
+        self.key = (priority, self.time, not preempt)
+        super().__init__(resource)
+
+
+class SortedQueue(list):
+    """A list kept sorted by each item's ``key`` attribute."""
+
+    def append(self, item: Any) -> None:  # type: ignore[override]
+        super().append(item)
+        super().sort(key=lambda e: e.key)
+
+
+class Resource(BaseResource):
+    """A counted resource with *capacity* usage slots.
+
+    Examples
+    --------
+    >>> env = Environment(); res = Resource(env, capacity=2)
+    >>> def user(env, res):
+    ...     with res.request() as req:
+    ...         yield req
+    ...         yield env.timeout(5)
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        #: Requests currently holding a slot.
+        self.users: list[Request] = []
+        #: Requests waiting for a slot (alias of ``put_queue``).
+        self.queue = self.put_queue
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Request a usage slot."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release the slot held by *request*."""
+        return Release(self, request)
+
+    def _do_put(self, event: Request) -> bool:
+        if len(self.users) < self.capacity:
+            self.users.append(event)
+            event.succeed()
+        return True
+
+    def _do_get(self, event: Release) -> bool:
+        try:
+            self.users.remove(event.request)
+        except ValueError:
+            pass
+        event.succeed()
+        return True
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiting queue is ordered by priority."""
+
+    PutQueue = SortedQueue
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        """Request a slot with the given *priority* (lower = sooner)."""
+        return PriorityRequest(self, priority=priority)
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+
+class ContainerPut(Put):
+    """Put *amount* units into a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount ({amount}) must be positive")
+        self.amount = amount
+        super().__init__(container)
+
+
+class ContainerGet(Get):
+    """Take *amount* units out of a :class:`Container`."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount ({amount}) must be positive")
+        self.amount = amount
+        super().__init__(container)
+
+
+class Container(BaseResource):
+    """A resource holding a divisible amount between 0 and *capacity*.
+
+    Useful for modelling pools of identical processors where only the count
+    matters.
+    """
+
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
+        super().__init__(env, capacity)
+        if init < 0 or init > capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self._level = init
+
+    @property
+    def level(self) -> float:
+        """Current amount stored in the container."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Put *amount* units into the container (waits if it would overflow)."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Get *amount* units out of the container (waits until available)."""
+        return ContainerGet(self, amount)
+
+    def _do_put(self, event: ContainerPut) -> bool:
+        if self._capacity - self._level >= event.amount:
+            self._level += event.amount
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: ContainerGet) -> bool:
+        if self._level >= event.amount:
+            self._level -= event.amount
+            event.succeed()
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+class StorePut(Put):
+    """Put *item* into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        self.item = item
+        super().__init__(store)
+
+
+class StoreGet(Get):
+    """Get an item out of a :class:`Store`."""
+
+
+class FilterStoreGet(StoreGet):
+    """Get the first item matching *filter_fn* out of a :class:`FilterStore`."""
+
+    def __init__(
+        self, store: "FilterStore", filter_fn: Callable[[Any], bool] = lambda item: True
+    ) -> None:
+        self.filter = filter_fn
+        super().__init__(store)
+
+
+class Store(BaseResource):
+    """A FIFO store of arbitrary Python objects with bounded capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self.items: list[Any] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Put *item* into the store (waits while the store is full)."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Get the oldest item out of the store (waits while it is empty)."""
+        return StoreGet(self)
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+        return True
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+        return True
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters may wait for items matching a predicate."""
+
+    def get(self, filter_fn: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:  # type: ignore[override]
+        """Get the first item for which ``filter_fn(item)`` is true."""
+        return FilterStoreGet(self, filter_fn)
+
+    def _do_get(self, event: FilterStoreGet) -> bool:  # type: ignore[override]
+        for item in self.items:
+            if event.filter(item):
+                self.items.remove(item)
+                event.succeed(item)
+                break
+        return True

@@ -1,0 +1,46 @@
+"""Workload generation and trace handling.
+
+The paper evaluates its policies with synthetic workloads that mix the two
+applications of Section VI-A uniformly:
+
+* **Wm** — 300 jobs, all malleable, inter-arrival time 2 minutes;
+* **Wmr** — 300 jobs, 50% malleable and 50% rigid (rigid jobs of size 2),
+  inter-arrival time 2 minutes;
+* **W'm / W'mr** — the same mixes with the inter-arrival time reduced to 30
+  seconds to increase the load (used for the PWA experiments).
+
+:mod:`repro.workloads.generator` builds those workloads (and parameterised
+variants for the ablation studies); :mod:`repro.workloads.swf` reads and
+writes traces in the Standard Workload Format used by the Parallel Workloads
+Archive and the Grid Workloads Archive, so real archive traces can be
+replayed through the same machinery.
+"""
+
+from repro.workloads.spec import JobSpec, WorkloadSpec
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    paper_workload,
+    wm_workload,
+    wmr_workload,
+    wm_prime_workload,
+    wmr_prime_workload,
+)
+from repro.workloads.swf import SwfField, SwfJob, SwfReader, SwfWriter, workload_from_swf
+from repro.workloads.submission import WorkloadSubmitter
+
+__all__ = [
+    "JobSpec",
+    "SwfField",
+    "SwfJob",
+    "SwfReader",
+    "SwfWriter",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "WorkloadSubmitter",
+    "paper_workload",
+    "wm_prime_workload",
+    "wm_workload",
+    "wmr_prime_workload",
+    "wmr_workload",
+    "workload_from_swf",
+]

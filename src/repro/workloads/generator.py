@@ -1,0 +1,191 @@
+"""Synthetic workload generators reproducing the paper's workloads.
+
+Section VI-C of the paper: the workloads combine the two applications with a
+uniform distribution; the minimum size is 2 processors, the maximum 46 for
+GADGET-2 and 32 for FT; 300 jobs are submitted from a single client site.
+Workloads Wm (all malleable) and Wmr (50% malleable, 50% rigid with 2
+processors) use a 2-minute inter-arrival time; W'm and W'mr reduce it to 30
+seconds to raise the load for the PWA experiments.  Rigid jobs are submitted
+with a size of 2 processors and malleable jobs with an initial size of 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.koala.job import JobKind
+from repro.workloads.spec import JobSpec, WorkloadSpec
+
+#: The applications the paper's workloads draw from, uniformly.
+PAPER_PROFILES: Sequence[str] = ("gadget2", "ft")
+
+#: Maximum sizes per profile used in the paper's workloads.
+PAPER_MAXIMUMS = {"gadget2": 46, "ft": 32}
+
+#: Inter-arrival time of workloads Wm and Wmr (seconds).
+PAPER_INTERARRIVAL = 120.0
+
+#: Inter-arrival time of workloads W'm and W'mr (seconds).
+PAPER_PRIME_INTERARRIVAL = 30.0
+
+#: Number of jobs in each paper workload.
+PAPER_JOB_COUNT = 300
+
+
+@dataclass
+class WorkloadGenerator:
+    """Parametrised generator of paper-style workloads.
+
+    Parameters
+    ----------
+    job_count:
+        Number of jobs to generate.
+    interarrival:
+        Mean inter-arrival time in seconds.  With ``poisson_arrivals=False``
+        (the default, matching the paper's fixed submission rate) arrivals
+        are exactly ``interarrival`` apart; otherwise they follow an
+        exponential distribution with that mean.
+    malleable_fraction:
+        Probability that a job is malleable (1.0 for Wm, 0.5 for Wmr).
+    rigid_processors:
+        Size of rigid jobs (the paper uses 2).
+    initial_processors / minimum_processors:
+        Initial and minimum sizes of malleable jobs (both 2 in the paper).
+    profiles:
+        Application profile names to draw from uniformly.
+    maximums:
+        Per-profile maximum sizes (defaults to the paper's 46/32).
+    poisson_arrivals:
+        Draw exponential inter-arrival times instead of fixed ones.
+    """
+
+    job_count: int = PAPER_JOB_COUNT
+    interarrival: float = PAPER_INTERARRIVAL
+    malleable_fraction: float = 1.0
+    rigid_processors: int = 2
+    initial_processors: int = 2
+    minimum_processors: int = 2
+    profiles: Sequence[str] = PAPER_PROFILES
+    maximums: Optional[dict] = None
+    poisson_arrivals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.job_count < 0:
+            raise ValueError("job_count must be non-negative")
+        if self.interarrival <= 0:
+            raise ValueError("interarrival must be positive")
+        if not 0.0 <= self.malleable_fraction <= 1.0:
+            raise ValueError("malleable_fraction must lie in [0, 1]")
+        if not self.profiles:
+            raise ValueError("at least one profile is required")
+        if self.maximums is None:
+            self.maximums = dict(PAPER_MAXIMUMS)
+
+    def generate(self, rng: np.random.Generator, *, name: str = "workload") -> WorkloadSpec:
+        """Generate a workload specification using random stream *rng*."""
+        jobs: List[JobSpec] = []
+        time = 0.0
+        for index in range(self.job_count):
+            if index > 0:
+                gap = (
+                    float(rng.exponential(self.interarrival))
+                    if self.poisson_arrivals
+                    else self.interarrival
+                )
+                time += gap
+            profile_name = str(rng.choice(list(self.profiles)))
+            malleable = bool(rng.random() < self.malleable_fraction)
+            maximum = int(self.maximums.get(profile_name, 32)) if self.maximums else 32
+            if malleable:
+                spec = JobSpec(
+                    submit_time=time,
+                    profile_name=profile_name,
+                    kind=JobKind.MALLEABLE,
+                    initial_processors=self.initial_processors,
+                    minimum_processors=self.minimum_processors,
+                    maximum_processors=maximum,
+                    name=f"{name}-{index + 1}-{profile_name}-m",
+                )
+            else:
+                spec = JobSpec(
+                    submit_time=time,
+                    profile_name=profile_name,
+                    kind=JobKind.RIGID,
+                    initial_processors=self.rigid_processors,
+                    minimum_processors=self.rigid_processors,
+                    maximum_processors=self.rigid_processors,
+                    name=f"{name}-{index + 1}-{profile_name}-r",
+                )
+            jobs.append(spec)
+        return WorkloadSpec(name=name, jobs=jobs, description=self.describe())
+
+    def describe(self) -> str:
+        """One-line description of the generator's parameters."""
+        return (
+            f"{self.job_count} jobs, inter-arrival {self.interarrival:g}s, "
+            f"{self.malleable_fraction:.0%} malleable, profiles {list(self.profiles)}"
+        )
+
+
+def paper_workload(
+    rng: np.random.Generator,
+    *,
+    malleable_fraction: float,
+    interarrival: float,
+    job_count: int = PAPER_JOB_COUNT,
+    name: str = "workload",
+) -> WorkloadSpec:
+    """Generate a workload with the paper's structure and custom load knobs."""
+    generator = WorkloadGenerator(
+        job_count=job_count,
+        interarrival=interarrival,
+        malleable_fraction=malleable_fraction,
+    )
+    return generator.generate(rng, name=name)
+
+
+def wm_workload(rng: np.random.Generator, *, job_count: int = PAPER_JOB_COUNT) -> WorkloadSpec:
+    """Workload Wm: all jobs malleable, 2-minute inter-arrival."""
+    return paper_workload(
+        rng, malleable_fraction=1.0, interarrival=PAPER_INTERARRIVAL, job_count=job_count, name="Wm"
+    )
+
+
+def wmr_workload(rng: np.random.Generator, *, job_count: int = PAPER_JOB_COUNT) -> WorkloadSpec:
+    """Workload Wmr: 50% malleable / 50% rigid, 2-minute inter-arrival."""
+    return paper_workload(
+        rng,
+        malleable_fraction=0.5,
+        interarrival=PAPER_INTERARRIVAL,
+        job_count=job_count,
+        name="Wmr",
+    )
+
+
+def wm_prime_workload(
+    rng: np.random.Generator, *, job_count: int = PAPER_JOB_COUNT
+) -> WorkloadSpec:
+    """Workload W'm: all malleable, 30-second inter-arrival (high load)."""
+    return paper_workload(
+        rng,
+        malleable_fraction=1.0,
+        interarrival=PAPER_PRIME_INTERARRIVAL,
+        job_count=job_count,
+        name="W'm",
+    )
+
+
+def wmr_prime_workload(
+    rng: np.random.Generator, *, job_count: int = PAPER_JOB_COUNT
+) -> WorkloadSpec:
+    """Workload W'mr: 50% malleable / 50% rigid, 30-second inter-arrival."""
+    return paper_workload(
+        rng,
+        malleable_fraction=0.5,
+        interarrival=PAPER_PRIME_INTERARRIVAL,
+        job_count=job_count,
+        name="W'mr",
+    )

@@ -1,0 +1,139 @@
+"""Workload specifications: declarative descriptions of what to submit.
+
+A :class:`WorkloadSpec` is a plain list of :class:`JobSpec` entries (submit
+time, application, kind, sizes).  Keeping the specification separate from the
+submission machinery makes workloads serialisable, comparable in tests and
+reusable across schedulers/policies — the same spec is replayed for every
+policy combination of an experiment, exactly like the paper re-runs the same
+workload for FPSMA and EGS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.apps.profiles import ApplicationProfile, ProfileRegistry, default_registry
+from repro.koala.job import Job, JobKind
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Declarative description of one job submission."""
+
+    submit_time: float
+    profile_name: str
+    kind: JobKind = JobKind.MALLEABLE
+    initial_processors: int = 2
+    minimum_processors: int = 2
+    maximum_processors: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise ValueError("submit_time must be non-negative")
+        if self.initial_processors < 1:
+            raise ValueError("initial_processors must be >= 1")
+        if self.minimum_processors < 1:
+            raise ValueError("minimum_processors must be >= 1")
+        if self.maximum_processors is not None and self.maximum_processors < self.minimum_processors:
+            raise ValueError("maximum_processors must be >= minimum_processors")
+
+    def build_job(self, registry: Optional[ProfileRegistry] = None) -> Job:
+        """Materialise this spec into a :class:`~repro.koala.job.Job`."""
+        registry = registry or default_registry()
+        profile: ApplicationProfile = registry.get(self.profile_name)
+        maximum = (
+            self.maximum_processors
+            if self.maximum_processors is not None
+            else profile.default_maximum
+        )
+        if self.kind is JobKind.MALLEABLE:
+            return Job.malleable(
+                profile,
+                initial_processors=self.initial_processors,
+                minimum=self.minimum_processors,
+                maximum=maximum,
+                name=self.name,
+            )
+        if self.kind is JobKind.RIGID:
+            return Job.rigid(profile.as_rigid(), self.initial_processors, name=self.name)
+        return Job.moldable(
+            profile, minimum=self.minimum_processors, maximum=maximum, name=self.name
+        )
+
+
+@dataclass
+class WorkloadSpec:
+    """A named, ordered collection of job specifications."""
+
+    name: str
+    jobs: List[JobSpec] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.jobs = sorted(self.jobs, key=lambda spec: spec.submit_time)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> JobSpec:
+        return self.jobs[index]
+
+    @property
+    def duration(self) -> float:
+        """Time of the last submission (0 for an empty workload)."""
+        return self.jobs[-1].submit_time if self.jobs else 0.0
+
+    @property
+    def malleable_fraction(self) -> float:
+        """Fraction of jobs that are malleable."""
+        if not self.jobs:
+            return 0.0
+        malleable = sum(1 for spec in self.jobs if spec.kind is JobKind.MALLEABLE)
+        return malleable / len(self.jobs)
+
+    def profile_counts(self) -> dict:
+        """Number of jobs per application profile."""
+        counts: dict = {}
+        for spec in self.jobs:
+            counts[spec.profile_name] = counts.get(spec.profile_name, 0) + 1
+        return counts
+
+    def subset(self, count: int) -> "WorkloadSpec":
+        """The first *count* submissions as a new spec (for quick experiments)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return WorkloadSpec(
+            name=f"{self.name}[:{count}]",
+            jobs=list(self.jobs[:count]),
+            description=self.description,
+        )
+
+    def scaled_arrivals(self, factor: float) -> "WorkloadSpec":
+        """A copy with all submit times multiplied by *factor*.
+
+        A factor below 1 compresses the arrival process (higher load), which
+        is exactly how the paper derives W'm/W'mr from Wm/Wmr (2 minutes down
+        to 30 seconds is a factor of 0.25).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        jobs: Sequence[JobSpec] = [
+            JobSpec(
+                submit_time=spec.submit_time * factor,
+                profile_name=spec.profile_name,
+                kind=spec.kind,
+                initial_processors=spec.initial_processors,
+                minimum_processors=spec.minimum_processors,
+                maximum_processors=spec.maximum_processors,
+                name=spec.name,
+            )
+            for spec in self.jobs
+        ]
+        return WorkloadSpec(
+            name=f"{self.name}*{factor:g}", jobs=list(jobs), description=self.description
+        )

@@ -1,0 +1,89 @@
+"""Workload submission: replaying a specification against a scheduler.
+
+The :class:`WorkloadSubmitter` is the simulated counterpart of the paper's
+single client site: it materialises each :class:`~repro.workloads.spec.JobSpec`
+at its submit time and hands it to the scheduler through the runners
+framework.  It also keeps the submitted jobs so the metrics layer can join
+them with their execution records afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.profiles import ProfileRegistry, default_registry
+from repro.koala.job import Job
+from repro.koala.scheduler import KoalaScheduler
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.workloads.spec import JobSpec, WorkloadSpec
+
+
+class WorkloadSubmitter:
+    """Submits a workload specification to a scheduler at the right times.
+
+    Parameters
+    ----------
+    env, scheduler:
+        Simulation environment and target scheduler.
+    workload:
+        The workload specification to replay.
+    registry:
+        Application-profile registry used to materialise job specs.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: KoalaScheduler,
+        workload: WorkloadSpec,
+        *,
+        registry: Optional[ProfileRegistry] = None,
+    ) -> None:
+        self.env = env
+        self.scheduler = scheduler
+        self.workload = workload
+        self.registry = registry or default_registry()
+        #: Jobs submitted so far, in submission order.
+        self.jobs: List[Job] = []
+        #: Mapping from job to the spec it was built from.
+        self.spec_of: Dict[int, JobSpec] = {}
+        #: Succeeds when the last job of the workload has been submitted.
+        self.all_submitted: Event = env.event()
+        self._process = env.process(self._submit_loop())
+
+    @property
+    def submitted_count(self) -> int:
+        """Number of jobs submitted so far."""
+        return len(self.jobs)
+
+    def _submit_loop(self):
+        for spec in self.workload:
+            delay = spec.submit_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            job = spec.build_job(self.registry)
+            self.jobs.append(job)
+            self.spec_of[job.job_id] = spec
+            self.scheduler.submit(job)
+        if not self.all_submitted.triggered:
+            self.all_submitted.succeed(len(self.jobs))
+
+    def completion_event(self) -> Event:
+        """An event that succeeds once every submitted job finished or failed.
+
+        Only meaningful after ``all_submitted``; the experiment driver usually
+        runs the simulation with a generous time bound and checks
+        :attr:`~repro.koala.scheduler.KoalaScheduler.all_done` instead, but
+        small tests find this convenient.
+        """
+        done = self.env.event()
+        self.env.process(self._watch_completion(done))
+        return done
+
+    def _watch_completion(self, done: Event):
+        yield self.all_submitted
+        while not self.scheduler.all_done:
+            yield self.env.timeout(30.0)
+        if not done.triggered:
+            done.succeed(len(self.scheduler.finished))

@@ -1,0 +1,101 @@
+"""Unit and property tests of the application size constraints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import AnySize, CompositeConstraint, MultipleOf, PowerOfTwo, RangeConstraint
+from repro.apps.constraints import ExplicitSizes
+
+
+def test_any_size_accepts_everything_positive():
+    constraint = AnySize()
+    assert constraint.is_acceptable(1)
+    assert constraint.is_acceptable(97)
+    assert not constraint.is_acceptable(0)
+    assert constraint.largest_acceptable(13) == 13
+    assert constraint.largest_acceptable(0) == 0
+
+
+def test_power_of_two_matches_ft_behaviour():
+    constraint = PowerOfTwo()
+    assert [n for n in range(1, 20) if constraint.is_acceptable(n)] == [1, 2, 4, 8, 16]
+    # "the FT application accepts only the highest power of 2 processors that
+    #  does not exceed the allocated number"
+    assert constraint.largest_acceptable(13) == 8
+    assert constraint.largest_acceptable(32) == 32
+    assert constraint.largest_acceptable(1) == 1
+    assert constraint.largest_acceptable(0) == 0
+
+
+def test_multiple_of_constraint():
+    constraint = MultipleOf(4)
+    assert constraint.is_acceptable(8)
+    assert not constraint.is_acceptable(10)
+    assert constraint.largest_acceptable(11) == 8
+    assert constraint.largest_acceptable(3) == 0
+    with pytest.raises(ValueError):
+        MultipleOf(0)
+
+
+def test_range_constraint_combines_bounds_and_inner():
+    constraint = RangeConstraint(2, 32, inner=PowerOfTwo())
+    assert constraint.is_acceptable(16)
+    assert not constraint.is_acceptable(1)  # below minimum
+    assert not constraint.is_acceptable(64)  # above maximum
+    assert not constraint.is_acceptable(12)  # inner rejects
+    assert constraint.largest_acceptable(100) == 32
+    assert constraint.largest_acceptable(1) == 0
+    with pytest.raises(ValueError):
+        RangeConstraint(4, 2)
+
+
+def test_explicit_sizes():
+    constraint = ExplicitSizes([3, 6, 12])
+    assert constraint.is_acceptable(6)
+    assert not constraint.is_acceptable(5)
+    assert constraint.largest_acceptable(11) == 6
+    assert constraint.largest_acceptable(2) == 0
+    with pytest.raises(ValueError):
+        ExplicitSizes([])
+
+
+def test_composite_requires_all_members_to_accept():
+    constraint = CompositeConstraint([PowerOfTwo(), MultipleOf(4)])
+    assert constraint.is_acceptable(8)
+    assert not constraint.is_acceptable(2)  # multiple-of-4 rejects
+    assert not constraint.is_acceptable(12)  # power-of-two rejects
+    assert constraint.largest_acceptable(30) == 16
+    with pytest.raises(ValueError):
+        CompositeConstraint([])
+
+
+def test_smallest_acceptable():
+    assert PowerOfTwo().smallest_acceptable(9) == 16
+    assert MultipleOf(5).smallest_acceptable(11) == 15
+    assert AnySize().smallest_acceptable(7) == 7
+
+
+CONSTRAINTS = [
+    AnySize(),
+    PowerOfTwo(),
+    MultipleOf(3),
+    RangeConstraint(2, 40, inner=PowerOfTwo()),
+    ExplicitSizes([2, 5, 9, 21]),
+]
+
+
+@pytest.mark.parametrize("constraint", CONSTRAINTS, ids=lambda c: repr(c))
+@given(offered=st.integers(min_value=0, max_value=200))
+@settings(max_examples=60, deadline=None)
+def test_largest_acceptable_is_acceptable_and_maximal(constraint, offered):
+    """largest_acceptable(n) is acceptable, <= n, and no acceptable size in
+    (largest, n] exists — the exact property the grow/shrink protocol needs."""
+    largest = constraint.largest_acceptable(offered)
+    assert largest <= max(offered, 0)
+    if largest > 0:
+        assert constraint.is_acceptable(largest)
+    for candidate in range(largest + 1, min(offered, largest + 50) + 1):
+        assert not constraint.is_acceptable(candidate)

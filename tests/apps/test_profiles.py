@@ -1,0 +1,100 @@
+"""Unit tests of application profiles and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    ApplicationProfile,
+    ConstantReconfigurationCost,
+    PowerLawSpeedup,
+    ProfileRegistry,
+    default_registry,
+    ft_profile,
+    gadget2_profile,
+)
+
+
+def test_ft_profile_matches_paper_description():
+    ft = ft_profile()
+    assert ft.name == "ft"
+    # Power-of-two constraint: offered 13 extra on top of nothing -> 8.
+    assert ft.accepted_size(13) == 8
+    assert ft.accepted_size(32) == 32
+    assert ft.accepted_size(0) == 0
+    # Figure 6 anchors: ~2 minutes on 2 machines, ~1 minute at best.
+    assert ft.execution_time(2) == pytest.approx(120.0)
+    assert ft.execution_time(32) == pytest.approx(60.0)
+    assert ft.default_minimum == 2
+    assert ft.default_maximum == 32
+    assert ft.malleable
+
+
+def test_gadget2_profile_matches_paper_description():
+    gadget = gadget2_profile()
+    assert gadget.name == "gadget2"
+    # GADGET-2 accepts any size thanks to its internal load balancer.
+    assert gadget.accepted_size(13) == 13
+    assert gadget.execution_time(2) == pytest.approx(600.0)
+    assert gadget.execution_time(46) == pytest.approx(240.0)
+    assert gadget.default_maximum == 46
+
+
+def test_profile_as_rigid_round_trip():
+    ft = ft_profile()
+    rigid = ft.as_rigid()
+    assert not rigid.malleable
+    assert ft.malleable  # original untouched (frozen dataclass)
+    assert rigid.speedup is ft.speedup
+
+
+def test_profile_with_reconfiguration_override():
+    profile = gadget2_profile().with_reconfiguration(ConstantReconfigurationCost(7.0))
+    assert profile.reconfiguration.cost(2, 10) == 7.0
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        ApplicationProfile(name="", speedup=PowerLawSpeedup(10.0))
+    with pytest.raises(ValueError):
+        ApplicationProfile(name="x", speedup=PowerLawSpeedup(10.0), default_minimum=0)
+    with pytest.raises(ValueError):
+        ApplicationProfile(
+            name="x", speedup=PowerLawSpeedup(10.0), default_minimum=8, default_maximum=4
+        )
+
+
+def test_registry_lookup_and_errors():
+    registry = default_registry()
+    assert "ft" in registry
+    assert "gadget2" in registry
+    assert registry.get("ft").name == "ft"
+    assert registry["gadget2"].name == "gadget2"
+    assert len(registry) == 2
+    assert sorted(registry) == ["ft", "gadget2"]
+    with pytest.raises(KeyError):
+        registry.get("does-not-exist")
+
+
+def test_registry_rejects_duplicate_registration():
+    registry = ProfileRegistry()
+    registry.register(ft_profile())
+    with pytest.raises(KeyError):
+        registry.register(ft_profile())
+    registry.register(ft_profile(), overwrite=True)  # explicit overwrite is fine
+
+
+def test_registry_factory_is_lazy_and_cached():
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return gadget2_profile()
+
+    registry = ProfileRegistry()
+    registry.register_factory("lazy", factory)
+    assert not calls
+    first = registry.get("lazy")
+    second = registry.get("lazy")
+    assert first is second
+    assert len(calls) == 1

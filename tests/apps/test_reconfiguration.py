@@ -1,0 +1,81 @@
+"""Unit tests of the reconfiguration (grow/shrink pause) cost models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    ConstantReconfigurationCost,
+    DataRedistributionCost,
+    NoReconfigurationCost,
+    PerProcessorReconfigurationCost,
+)
+
+
+def test_no_cost_model_is_always_zero():
+    model = NoReconfigurationCost()
+    assert model.cost(2, 40) == 0.0
+    assert model.cost(40, 2) == 0.0
+
+
+def test_constant_cost_only_charged_on_actual_change():
+    model = ConstantReconfigurationCost(12.0)
+    assert model.cost(4, 8) == 12.0
+    assert model.cost(8, 4) == 12.0
+    assert model.cost(8, 8) == 0.0
+    with pytest.raises(ValueError):
+        ConstantReconfigurationCost(-1.0)
+
+
+def test_per_processor_cost_scales_with_delta():
+    model = PerProcessorReconfigurationCost(base=2.0, per_processor=0.5)
+    assert model.cost(2, 10) == pytest.approx(2.0 + 0.5 * 8)
+    assert model.cost(10, 2) == pytest.approx(2.0 + 0.5 * 8)
+    assert model.cost(5, 5) == 0.0
+
+
+def test_data_redistribution_cost_depends_on_moved_fraction():
+    model = DataRedistributionCost(data_volume=1000.0, bandwidth=100.0, base=1.0)
+    # Growing 2 -> 4 moves half the data: 1 + (2/4)*1000/100 = 6.
+    assert model.cost(2, 4) == pytest.approx(6.0)
+    # Doubling from a larger base moves the same fraction.
+    assert model.cost(10, 20) == pytest.approx(6.0)
+    # Small relative changes are cheap.
+    assert model.cost(40, 41) < model.cost(2, 4)
+    assert model.cost(7, 7) == 0.0
+
+
+def test_cost_models_validate_inputs():
+    with pytest.raises(ValueError):
+        DataRedistributionCost(data_volume=-1, bandwidth=10)
+    with pytest.raises(ValueError):
+        DataRedistributionCost(data_volume=10, bandwidth=0)
+    with pytest.raises(ValueError):
+        PerProcessorReconfigurationCost(base=-0.1)
+    with pytest.raises(ValueError):
+        NoReconfigurationCost().cost(-1, 4)
+
+
+MODELS = [
+    NoReconfigurationCost(),
+    ConstantReconfigurationCost(5.0),
+    PerProcessorReconfigurationCost(base=1.0, per_processor=0.25),
+    DataRedistributionCost(data_volume=1600.0, bandwidth=400.0, base=1.0),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+@given(
+    old=st.integers(min_value=1, max_value=64),
+    new=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_costs_are_nonnegative_symmetric_and_zero_without_change(model, old, new):
+    """Costs are non-negative, zero when nothing changes, and direction-agnostic."""
+    cost = model.cost(old, new)
+    assert cost >= 0.0
+    assert model.cost(new, old) == pytest.approx(cost)
+    if old == new:
+        assert cost == 0.0

@@ -1,0 +1,153 @@
+"""Unit and property tests of the speedup models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import AmdahlSpeedup, DowneySpeedup, PowerLawSpeedup, TabulatedSpeedup
+from repro.apps.profiles import FT_SCALING_POINTS, GADGET2_SCALING_POINTS
+
+
+# ---------------------------------------------------------------------------
+# Amdahl
+# ---------------------------------------------------------------------------
+
+
+def test_amdahl_sequential_time_and_asymptote():
+    model = AmdahlSpeedup(sequential_time=100.0, serial_fraction=0.1)
+    assert model.execution_time(1) == pytest.approx(100.0)
+    # With 10% serial work, the execution time can never drop below 10s.
+    assert model.execution_time(10_000) == pytest.approx(10.0, rel=1e-2)
+    assert model.speedup(1) == pytest.approx(1.0)
+
+
+def test_amdahl_overhead_creates_a_minimum():
+    model = AmdahlSpeedup(sequential_time=100.0, serial_fraction=0.05, overhead_per_processor=1.0)
+    best = model.best_size(64)
+    # Past the optimum, adding processors makes things worse.
+    assert model.execution_time(best) < model.execution_time(64)
+    assert 1 < best < 64
+
+
+def test_amdahl_validation():
+    with pytest.raises(ValueError):
+        AmdahlSpeedup(sequential_time=0, serial_fraction=0.1)
+    with pytest.raises(ValueError):
+        AmdahlSpeedup(sequential_time=10, serial_fraction=1.5)
+    with pytest.raises(ValueError):
+        AmdahlSpeedup(sequential_time=10, serial_fraction=0.5, overhead_per_processor=-1)
+
+
+# ---------------------------------------------------------------------------
+# Downey
+# ---------------------------------------------------------------------------
+
+
+def test_downey_speedup_caps_at_average_parallelism():
+    model = DowneySpeedup(sequential_time=1000.0, average_parallelism=16.0, sigma=0.5)
+    assert model.speedup(1) == pytest.approx(1.0)
+    assert model.speedup(1000) == pytest.approx(16.0)
+
+
+def test_downey_high_variance_regime():
+    model = DowneySpeedup(sequential_time=1000.0, average_parallelism=8.0, sigma=2.0)
+    assert model.speedup(4) <= 4.0
+    assert model.speedup(1000) == pytest.approx(8.0)
+
+
+def test_downey_validation():
+    with pytest.raises(ValueError):
+        DowneySpeedup(sequential_time=10, average_parallelism=0.5, sigma=1.0)
+    with pytest.raises(ValueError):
+        DowneySpeedup(sequential_time=10, average_parallelism=4, sigma=-1)
+
+
+# ---------------------------------------------------------------------------
+# Power law and tabulated
+# ---------------------------------------------------------------------------
+
+
+def test_power_law_perfect_scaling_at_alpha_one():
+    model = PowerLawSpeedup(sequential_time=100.0, alpha=1.0)
+    assert model.execution_time(4) == pytest.approx(25.0)
+    assert model.speedup(8) == pytest.approx(8.0)
+
+
+def test_tabulated_interpolates_and_extrapolates():
+    model = TabulatedSpeedup([(2, 120.0), (8, 70.0), (32, 60.0)])
+    assert model.execution_time(2) == pytest.approx(120.0)
+    assert model.execution_time(8) == pytest.approx(70.0)
+    # Between measured points the time lies between the neighbours.
+    assert 70.0 < model.execution_time(4) < 120.0
+    # Beyond the last point the curve is flat (extra processors are wasted).
+    assert model.execution_time(64) == pytest.approx(60.0)
+    # Below the first point, assume linear slowdown.
+    assert model.execution_time(1) == pytest.approx(240.0)
+
+
+def test_tabulated_requires_points():
+    with pytest.raises(ValueError):
+        TabulatedSpeedup([])
+    with pytest.raises(ValueError):
+        TabulatedSpeedup([(0, 50.0)])
+    with pytest.raises(ValueError):
+        TabulatedSpeedup([(2, -1.0)])
+
+
+def test_calibration_matches_figure6_anchor_points():
+    """The calibrated profiles hit the execution times quoted in the paper."""
+    ft = TabulatedSpeedup(FT_SCALING_POINTS)
+    gadget = TabulatedSpeedup(GADGET2_SCALING_POINTS)
+    # "With 2 processors, GADGET 2 takes 10 minutes, while FT lasts 2 minutes."
+    assert ft.execution_time(2) == pytest.approx(120.0)
+    assert gadget.execution_time(2) == pytest.approx(600.0)
+    # "The best execution times are respectively 4 minutes for GADGET 2 and
+    #  1 minute for FT."
+    assert ft.execution_time(32) == pytest.approx(60.0)
+    assert gadget.execution_time(46) == pytest.approx(240.0)
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants shared by all models
+# ---------------------------------------------------------------------------
+
+MODELS = [
+    AmdahlSpeedup(sequential_time=500.0, serial_fraction=0.08),
+    DowneySpeedup(sequential_time=500.0, average_parallelism=24.0, sigma=0.8),
+    PowerLawSpeedup(sequential_time=500.0, alpha=0.85),
+    TabulatedSpeedup(GADGET2_SCALING_POINTS),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+@given(n=st.integers(min_value=1, max_value=128))
+@settings(max_examples=40, deadline=None)
+def test_execution_time_positive_and_speedup_bounded(model, n):
+    """T(n) > 0 and 1 <= speedup(n) <= n for every model and size."""
+    assert model.execution_time(n) > 0
+    assert model.speedup(n) >= 1.0 - 1e-9
+    assert model.speedup(n) <= n + 1e-9
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+@given(n=st.integers(min_value=1, max_value=127))
+@settings(max_examples=40, deadline=None)
+def test_execution_time_never_increases_with_more_processors(model, n):
+    """All calibrated models are monotone: more processors never slow the job."""
+    assert model.execution_time(n + 1) <= model.execution_time(n) + 1e-9
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_work_rate_is_inverse_of_execution_time(model):
+    for n in (1, 2, 7, 32):
+        assert model.work_rate(n) == pytest.approx(1.0 / model.execution_time(n))
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+def test_rejects_non_positive_processor_counts(model):
+    with pytest.raises(ValueError):
+        model.execution_time(0)
+    with pytest.raises(ValueError):
+        model.efficiency(-3)

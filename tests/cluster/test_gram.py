@@ -1,0 +1,136 @@
+"""Unit tests of the GRAM submission endpoint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, GramEndpoint, GramSubmissionError
+from repro.sim import Environment, RandomStreams
+
+
+def build(env, nodes=16, latency=5.0, recruit=0.5, rng=None):
+    cluster = Cluster(env, "c", nodes)
+    endpoint = GramEndpoint(
+        env, cluster, submission_latency=latency, recruit_latency=recruit, rng=rng
+    )
+    return cluster, endpoint
+
+
+def test_submission_becomes_active_after_latency(env):
+    cluster, endpoint = build(env, latency=5.0)
+
+    def driver(env, endpoint):
+        job = yield endpoint.submit("job-1", 4)
+        return (env.now, job.processors, job.active)
+
+    driver_proc = env.process(driver(env, endpoint))
+    env.run()
+    assert driver_proc.value == (5.0, 4, True)
+    assert cluster.used_processors == 4
+    assert len(endpoint.active_jobs) == 1
+
+
+def test_submission_fails_when_processors_disappear(env):
+    cluster, endpoint = build(env, nodes=4, latency=5.0)
+
+    def competitor(env, cluster):
+        # Takes the nodes while the GRAM submission is still in flight.
+        yield env.timeout(1.0)
+        cluster.allocate(3, owner="background", kind="local")
+
+    def driver(env, endpoint):
+        try:
+            yield endpoint.submit("job-1", 2)
+        except GramSubmissionError as error:
+            return ("failed", error.requested, env.now)
+        return ("ok",)
+
+    env.process(competitor(env, cluster))
+    driver_proc = env.process(driver(env, endpoint))
+    env.run()
+    assert driver_proc.value == ("failed", 2, 5.0)
+    assert cluster.grid_processors == 0
+
+
+def test_release_returns_processors(env):
+    cluster, endpoint = build(env)
+
+    def driver(env, endpoint):
+        job = yield endpoint.submit("job-1", 6)
+        yield env.timeout(10)
+        endpoint.release(job)
+        return cluster.idle_processors
+
+    driver_proc = env.process(driver(env, endpoint))
+    env.run()
+    assert driver_proc.value == 16
+    assert endpoint.active_jobs == []
+
+
+def test_recruit_requires_an_active_job_and_is_fast(env):
+    cluster, endpoint = build(env, latency=4.0, recruit=0.5)
+
+    def driver(env, endpoint):
+        job = yield endpoint.submit("job-1", 1)
+        submitted_at = env.now
+        yield endpoint.recruit(job)
+        return env.now - submitted_at
+
+    driver_proc = env.process(driver(env, endpoint))
+    env.run()
+    assert driver_proc.value == pytest.approx(0.5)
+
+
+def test_recruit_of_released_job_rejected(env):
+    cluster, endpoint = build(env)
+
+    def driver(env, endpoint):
+        job = yield endpoint.submit("job-1", 1)
+        endpoint.release(job)
+        try:
+            endpoint.recruit(job)
+        except GramSubmissionError:
+            return "rejected"
+
+    driver_proc = env.process(driver(env, endpoint))
+    env.run()
+    assert driver_proc.value == "rejected"
+
+
+def test_latency_jitter_stays_within_bounds():
+    env = Environment()
+    rng = RandomStreams(3)["gram"]
+    cluster, endpoint = build(env, latency=10.0, rng=rng)
+    endpoint.latency_jitter = 0.2
+    times = []
+
+    def driver(env, endpoint, index):
+        started = env.now
+        yield endpoint.submit(f"job-{index}", 1)
+        times.append(env.now - started)
+
+    for index in range(10):
+        env.process(driver(env, endpoint, index))
+    env.run()
+    assert all(8.0 <= t <= 12.0 for t in times)
+    assert len(set(times)) > 1  # jitter actually varies
+
+
+def test_submission_validation(env):
+    cluster, endpoint = build(env)
+    with pytest.raises(ValueError):
+        endpoint.submit("job", 0)
+    with pytest.raises(ValueError):
+        GramEndpoint(env, cluster, submission_latency=-1)
+    with pytest.raises(ValueError):
+        GramEndpoint(env, cluster, latency_jitter=1.5)
+
+
+def test_failed_submission_does_not_crash_unwaited(env):
+    """A refused submission must never abort the simulation, even if the
+    caller has not started waiting on it yet (pre-defused failure)."""
+    cluster, endpoint = build(env, nodes=1, latency=2.0)
+    cluster.allocate(1, owner="taken", kind="local")
+    endpoint.submit("job-1", 1)  # nobody ever waits on this event
+    env.run()  # must not raise
+    assert cluster.grid_processors == 0

@@ -1,0 +1,152 @@
+"""Unit and property tests of the DYNACO decide component."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import AnySize, PowerOfTwo
+from repro.dynaco import GrowOffer, MalleabilityDecision, ShrinkRequest
+from repro.dynaco.events import EnvironmentEvent
+
+
+def decide_grow(decision, offered, current):
+    return decision.decide(
+        GrowOffer(time=0.0, offered=offered, current_allocation=current), current
+    )
+
+
+def decide_shrink(decision, requested, current):
+    return decision.decide(
+        ShrinkRequest(time=0.0, requested=requested, current_allocation=current), current
+    )
+
+
+# ---------------------------------------------------------------------------
+# Growing
+# ---------------------------------------------------------------------------
+
+
+def test_grow_accepts_up_to_maximum():
+    decision = MalleabilityDecision(minimum=2, maximum=10, constraint=AnySize())
+    assert decide_grow(decision, 4, 2).target_allocation == 6
+    assert decide_grow(decision, 100, 2).target_allocation == 10
+    assert decide_grow(decision, 1, 10).target_allocation == 10  # already at max
+
+
+def test_grow_respects_power_of_two_constraint():
+    decision = MalleabilityDecision(minimum=2, maximum=32, constraint=PowerOfTwo())
+    # "the FT application accepts only the highest power of 2 processors that
+    #  does not exceed the allocated number"
+    assert decide_grow(decision, 13, 2).target_allocation == 8
+    assert decide_grow(decision, 1, 2).target_allocation == 2  # 3 is not a power of two
+    assert decide_grow(decision, 100, 2).target_allocation == 32
+
+
+def test_grow_zero_offer_keeps_current():
+    decision = MalleabilityDecision(minimum=2, maximum=32)
+    strategy = decide_grow(decision, 0, 4)
+    assert strategy.target_allocation == 4
+
+
+def test_grow_eagerness_scales_the_offer():
+    decision = MalleabilityDecision(minimum=2, maximum=32, grow_eagerness=0.5)
+    assert decide_grow(decision, 10, 2).target_allocation == 7
+    shy = MalleabilityDecision(minimum=2, maximum=32, grow_eagerness=0.0)
+    assert decide_grow(shy, 10, 2).target_allocation == 2
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def test_shrink_never_goes_below_minimum():
+    decision = MalleabilityDecision(minimum=2, maximum=32, constraint=AnySize())
+    assert decide_shrink(decision, 3, 8).target_allocation == 5
+    assert decide_shrink(decision, 100, 8).target_allocation == 2
+    assert decide_shrink(decision, 1, 2).target_allocation == 2  # already at minimum
+
+
+def test_shrink_with_power_of_two_constraint_releases_more_if_needed():
+    decision = MalleabilityDecision(minimum=2, maximum=32, constraint=PowerOfTwo())
+    # Asked to give up 2 out of 8: 6 is not a power of two, so FT falls to 4,
+    # voluntarily releasing more than requested.
+    assert decide_shrink(decision, 2, 8).target_allocation == 4
+    # Asked for more than it can give: shrink to the minimum power of two.
+    assert decide_shrink(decision, 100, 16).target_allocation == 2
+
+
+def test_shrink_blocked_when_constraint_leaves_no_room():
+    # Minimum 3 with a power-of-two constraint: only 4, 8, ... are usable.
+    decision = MalleabilityDecision(minimum=3, maximum=32, constraint=PowerOfTwo())
+    # From 4, shrinking by 1 would require size 3 (unacceptable) and 2 is
+    # below the minimum, so the application refuses to shrink.
+    assert decide_shrink(decision, 1, 4).target_allocation == 4
+    # From 8, shrinking by 3 lands on 5; the largest acceptable size >= 3 that
+    # is below 8 is 4.
+    assert decide_shrink(decision, 3, 8).target_allocation == 4
+
+
+def test_unknown_event_keeps_current_allocation():
+    decision = MalleabilityDecision(minimum=2, maximum=32)
+    strategy = decision.decide(EnvironmentEvent(time=0.0), 6)
+    assert strategy.target_allocation == 6
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MalleabilityDecision(minimum=0, maximum=4)
+    with pytest.raises(ValueError):
+        MalleabilityDecision(minimum=8, maximum=4)
+    with pytest.raises(ValueError):
+        MalleabilityDecision(minimum=2, maximum=8, grow_eagerness=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants of the decision procedure
+# ---------------------------------------------------------------------------
+
+
+@given(
+    minimum=st.integers(min_value=1, max_value=8),
+    span=st.integers(min_value=0, max_value=56),
+    current=st.integers(min_value=1, max_value=64),
+    offered=st.integers(min_value=0, max_value=64),
+    power_of_two=st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_grow_decision_invariants(minimum, span, current, offered, power_of_two):
+    """A grow decision never shrinks, never exceeds the maximum, never uses
+    more than the offer, and always lands on an acceptable size."""
+    maximum = minimum + span
+    current = min(max(current, minimum), maximum)
+    constraint = PowerOfTwo() if power_of_two else AnySize()
+    decision = MalleabilityDecision(minimum=minimum, maximum=maximum, constraint=constraint)
+    target = decide_grow(decision, offered, current).target_allocation
+    assert current <= target <= maximum
+    assert target - current <= offered
+    if target != current:
+        assert constraint.is_acceptable(target)
+
+
+@given(
+    minimum=st.integers(min_value=1, max_value=8),
+    span=st.integers(min_value=0, max_value=56),
+    current=st.integers(min_value=1, max_value=64),
+    requested=st.integers(min_value=0, max_value=64),
+    power_of_two=st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_shrink_decision_invariants(minimum, span, current, requested, power_of_two):
+    """A shrink decision never grows, never goes below the minimum, and always
+    lands on an acceptable size."""
+    maximum = minimum + span
+    current = min(max(current, minimum), maximum)
+    constraint = PowerOfTwo() if power_of_two else AnySize()
+    decision = MalleabilityDecision(minimum=minimum, maximum=maximum, constraint=constraint)
+    target = decide_shrink(decision, requested, current).target_allocation
+    assert minimum <= target <= current
+    if target != current:
+        assert constraint.is_acceptable(target)

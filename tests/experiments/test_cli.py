@@ -1,0 +1,67 @@
+"""Tests of the ``repro-experiment`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("figure6", "figure7", "figure8", "ablation", "run"):
+        args = parser.parse_args(
+            [command, "approach"] if command == "ablation" else [command]
+        )
+        assert args.command == command
+
+
+def test_cli_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure6_command_prints_the_scaling_table(capsys):
+    assert main(["figure6"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 6" in output
+    assert "gadget2" in output and "ft" in output
+
+
+def test_run_command_summary_and_csv(capsys):
+    assert main(["run", "--workload", "Wm", "--policy", "EGS", "--jobs", "6", "--seed", "3"]) == 0
+    summary = capsys.readouterr().out
+    assert "EGS/Wm" in summary and "mean exec" in summary
+
+    assert main(
+        ["run", "--workload", "Wm", "--policy", "none", "--jobs", "4", "--seed", "3", "--csv"]
+    ) == 0
+    csv = capsys.readouterr().out
+    assert csv.splitlines()[0].startswith("name,profile,kind")
+    assert len(csv.strip().splitlines()) == 5  # header + 4 jobs
+
+
+def test_figure7_command_with_reduced_jobs(capsys):
+    assert main(["figure7", "--jobs", "8", "--seed", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 7(a)" in output and "Figure 7(f)" in output
+    assert "FPSMA/Wm" in output and "EGS/Wmr" in output
+
+
+def test_ablation_command(capsys):
+    assert main(["ablation", "threshold", "--jobs", "6", "--seed", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "Ablation study: threshold" in output
+    assert "threshold=0" in output
+
+
+def test_output_file_option(tmp_path, capsys):
+    target = tmp_path / "report.txt"
+    assert main(["--output", str(target), "figure6"]) == 0
+    assert capsys.readouterr().out == ""
+    assert "Figure 6" in target.read_text(encoding="utf-8")
+
+
+def test_unknown_ablation_study_rejected():
+    with pytest.raises(SystemExit):
+        main(["ablation", "nonsense"])

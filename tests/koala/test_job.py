@@ -1,0 +1,91 @@
+"""Unit tests of the KOALA job model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.koala import Job, JobComponent, JobKind, JobState
+
+
+def test_component_validation():
+    with pytest.raises(ValueError):
+        JobComponent(processors=0)
+
+
+def test_malleable_job_defaults_follow_profile(ft):
+    job = Job.malleable(ft)
+    assert job.kind is JobKind.MALLEABLE
+    assert job.is_malleable
+    assert job.minimum_processors == 2
+    assert job.maximum_processors == 32
+    assert job.total_processors == 2  # initial size equals the minimum
+    assert job.state is JobState.CREATED
+    assert job.name.startswith("ft-")
+
+
+def test_malleable_job_custom_sizes(gadget2):
+    job = Job.malleable(gadget2, initial_processors=4, minimum=3, maximum=40, name="custom")
+    assert job.name == "custom"
+    assert job.minimum_processors == 3
+    assert job.maximum_processors == 40
+    assert job.single_component.processors == 4
+
+
+def test_rigid_job_has_fixed_size(gadget2):
+    job = Job.rigid(gadget2, processors=2)
+    assert job.kind is JobKind.RIGID
+    assert not job.is_malleable
+    assert job.minimum_processors == job.maximum_processors == 2
+
+
+def test_moldable_job_range(ft):
+    job = Job.moldable(ft, minimum=4, maximum=16)
+    assert job.kind is JobKind.MOLDABLE
+    assert job.minimum_processors == 4
+    assert job.maximum_processors == 16
+
+
+def test_job_validation(ft):
+    with pytest.raises(ValueError):
+        Job(profile=ft, kind=JobKind.MALLEABLE, components=[])
+    with pytest.raises(ValueError):
+        Job.malleable(ft, minimum=0)
+    with pytest.raises(ValueError):
+        Job.malleable(ft, minimum=8, maximum=4)
+
+
+def test_single_component_accessor_rejects_coallocated_jobs(ft):
+    job = Job(
+        profile=ft,
+        kind=JobKind.RIGID,
+        components=[JobComponent(processors=4), JobComponent(processors=4)],
+    )
+    assert job.total_processors == 8
+    with pytest.raises(ValueError):
+        _ = job.single_component
+
+
+def test_placement_bookkeeping(ft):
+    job = Job.malleable(ft)
+    assert not job.placed
+    job.single_component.cluster = "delft"
+    assert job.placed
+    job.clear_placement()
+    assert not job.placed
+
+
+def test_timing_properties_require_completion(ft):
+    job = Job.malleable(ft)
+    with pytest.raises(ValueError):
+        _ = job.response_time
+    job.submit_time = 10.0
+    job.start_time = 20.0
+    job.finish_time = 80.0
+    assert job.response_time == 70.0
+    assert job.execution_time == 60.0
+
+
+def test_job_ids_are_unique(ft):
+    a, b = Job.malleable(ft), Job.malleable(ft)
+    assert a.job_id != b.job_id
+    assert a.name != b.name

@@ -1,0 +1,202 @@
+"""Integration tests of the KOALA scheduler with malleability management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ft_profile, gadget2_profile
+from repro.cluster import Multicluster
+from repro.koala import Job, JobState, KoalaScheduler, SchedulerConfig
+from repro.sim import Environment, RandomStreams
+
+
+def build_scheduler(
+    env,
+    *,
+    clusters=(("alpha", 32), ("beta", 16)),
+    approach="PRA",
+    policy="FPSMA",
+    offer_mode="released",
+    threshold=0,
+    poll_interval=10.0,
+    seed=3,
+):
+    streams = RandomStreams(seed=seed)
+    system = Multicluster(
+        env, streams=streams, gram_submission_latency=1.0, gram_recruit_latency=0.1
+    )
+    for name, size in clusters:
+        system.add_cluster(name, size)
+    scheduler = KoalaScheduler(
+        env,
+        system,
+        SchedulerConfig(
+            placement_policy="WF",
+            malleability_policy=policy,
+            approach=approach,
+            grow_threshold=threshold,
+            grow_offer_mode=offer_mode,
+            poll_interval=poll_interval,
+            adaptation_point_interval=0.0,
+        ),
+        streams=streams,
+    )
+    return system, scheduler
+
+
+def test_submission_places_job_and_runs_it_to_completion(env):
+    system, scheduler = build_scheduler(env)
+    job = Job.malleable(gadget2_profile(), name="g1")
+    scheduler.submit(job)
+    env.run(until=3000)
+    assert scheduler.all_done
+    assert scheduler.finished == [job]
+    assert job.state is JobState.FINISHED
+    record = scheduler.records[job.job_id]
+    assert record.execution_time > 0
+    assert record.submit_time == 0.0
+    assert system.used_processors == 0
+
+
+def test_worst_fit_places_on_the_emptiest_cluster(env):
+    system, scheduler = build_scheduler(env)
+    system.cluster("alpha").allocate(30, owner="blocker", kind="local")
+    job = Job.malleable(gadget2_profile(), name="g1")
+    scheduler.submit(job)
+    env.run(until=2500)
+    assert job.single_component.cluster == "beta"
+
+
+def test_unplaceable_job_waits_in_the_queue_until_room_appears(env):
+    system, scheduler = build_scheduler(env, clusters=(("alpha", 4),))
+    blocker = system.cluster("alpha").allocate(3, owner="blocker", kind="local")
+    job = Job.malleable(gadget2_profile(), name="waiting")
+    scheduler.submit(job)
+    env.run(until=100)
+    assert scheduler.queue_length == 1
+    assert job.state is JobState.QUEUED
+
+    blocker.release()
+    env.run(until=1500)
+    assert scheduler.all_done
+    assert job.state is JobState.FINISHED
+    assert scheduler.records[job.job_id].wait_time > 0
+
+
+def test_pra_grows_running_jobs_when_other_jobs_finish(env):
+    # One cluster so released processors are offered to the survivor.
+    system, scheduler = build_scheduler(env, clusters=(("alpha", 24),), policy="FPSMA")
+    long_job = Job.malleable(gadget2_profile(), name="long")
+    short_job = Job.malleable(ft_profile(), name="short")
+    scheduler.submit(long_job)
+    scheduler.submit(short_job)
+    env.run(until=4000)
+    assert scheduler.all_done
+    long_record = scheduler.records[long_job.job_id]
+    # When the FT job finished, its processors were offered to the GADGET job.
+    assert long_record.maximum_allocation > 2
+    assert scheduler.manager.total_grow_messages >= 1
+
+
+def test_idle_offer_mode_grows_immediately_to_the_maximum(env):
+    system, scheduler = build_scheduler(
+        env, clusters=(("alpha", 64),), policy="FPSMA", offer_mode="idle"
+    )
+    job = Job.malleable(gadget2_profile(), name="eager")
+    scheduler.submit(job)
+    env.run(until=3000)
+    record = scheduler.records[job.job_id]
+    assert record.maximum_allocation == 46
+    assert record.execution_time < 400.0
+
+
+def test_grow_threshold_reserves_processors_for_local_users(env):
+    system, scheduler = build_scheduler(
+        env, clusters=(("alpha", 16),), policy="FPSMA", offer_mode="idle", threshold=6
+    )
+    job = Job.malleable(gadget2_profile(), name="capped")
+    scheduler.submit(job)
+    env.run(until=4000)
+    record = scheduler.records[job.job_id]
+    # 16 processors minus the 6 reserved leaves at most 10 for the job.
+    assert record.maximum_allocation <= 10
+    assert record.maximum_allocation > 2
+
+
+def test_pwa_shrinks_running_jobs_to_place_waiting_ones(env):
+    system, scheduler = build_scheduler(
+        env, clusters=(("alpha", 12),), approach="PWA", policy="FPSMA", offer_mode="idle"
+    )
+    first = Job.malleable(gadget2_profile(), name="first")
+    scheduler.submit(first)
+    env.run(until=120)
+    # The first job has grown to fill the whole cluster.
+    first_runner = scheduler.runner_for(first)
+    assert first_runner.current_allocation >= 10
+
+    second = Job.malleable(gadget2_profile(), name="second")
+    scheduler.submit(second)
+    env.run(until=2500)
+    assert scheduler.manager.total_shrink_messages >= 1
+    assert second.state in (JobState.RUNNING, JobState.FINISHED)
+    records = scheduler.records
+    if second.job_id in records:
+        assert records[second.job_id].wait_time < 600.0
+
+
+def test_scheduler_without_malleability_manager_still_schedules(env):
+    streams = RandomStreams(seed=9)
+    system = Multicluster(env, streams=streams, gram_submission_latency=1.0)
+    system.add_cluster("alpha", 16)
+    scheduler = KoalaScheduler(
+        env,
+        system,
+        SchedulerConfig(malleability_policy=None),
+        streams=streams,
+    )
+    assert scheduler.manager is None
+    job = Job.malleable(ft_profile(), name="plain")
+    scheduler.submit(job)
+    env.run(until=1000)
+    assert scheduler.all_done
+    # Without a manager, the job never grows beyond its initial size.
+    assert scheduler.records[job.job_id].maximum_allocation == 2
+
+
+def test_rigid_and_malleable_jobs_coexist(env):
+    system, scheduler = build_scheduler(env, clusters=(("alpha", 20),))
+    rigid = Job.rigid(ft_profile().as_rigid(), processors=2, name="rigid")
+    malleable = Job.malleable(gadget2_profile(), name="malleable")
+    scheduler.submit(rigid)
+    scheduler.submit(malleable)
+    env.run(until=4000)
+    assert scheduler.all_done
+    assert scheduler.records[rigid.job_id].maximum_allocation == 2
+    assert scheduler.records[malleable.job_id].maximum_allocation >= 2
+
+
+def test_duplicate_submission_rejected(env):
+    system, scheduler = build_scheduler(env)
+    job = Job.malleable(ft_profile())
+    scheduler.submit(job)
+    with pytest.raises(ValueError):
+        scheduler.submit(job)
+
+
+def test_effective_idle_subtracts_pending_claims(env):
+    system, scheduler = build_scheduler(env)
+    scheduler.ledger.reserve("alpha", 10, owner="phantom")
+    idle = scheduler.effective_idle_processors()
+    assert idle["alpha"] == 22
+    assert idle["beta"] == 16
+
+
+def test_all_done_accounts_for_every_submission(env):
+    system, scheduler = build_scheduler(env)
+    jobs = [Job.malleable(ft_profile(), name=f"ft-{i}") for i in range(3)]
+    for job in jobs:
+        scheduler.submit(job)
+    assert not scheduler.all_done
+    env.run(until=3000)
+    assert scheduler.all_done
+    assert len(scheduler.execution_records()) == 3

@@ -1,0 +1,254 @@
+"""Unit and property tests of the malleability management policies.
+
+Policies are pure planners over read-only job views, so they are tested here
+with lightweight fakes instead of full runners; the integration with real
+MRunners is covered by the scheduler integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import AnySize, PowerOfTwo, SizeConstraint
+from repro.malleability import (
+    EGS,
+    FPSMA,
+    EquiGrowShrink,
+    Equipartition,
+    Folding,
+    make_malleability_policy,
+)
+
+
+@dataclass
+class FakeRunner:
+    """Minimal stand-in for a MalleableRunner, implementing the view protocol."""
+
+    name: str
+    start_time: float
+    current_allocation: int
+    minimum: int = 2
+    maximum: int = 46
+    constraint: SizeConstraint = field(default_factory=AnySize)
+    reconfiguring: bool = False
+
+    def preview_grow(self, offered: int) -> int:
+        proposed = min(self.current_allocation + offered, self.maximum)
+        acceptable = self.constraint.largest_acceptable(proposed)
+        return max(0, acceptable - self.current_allocation)
+
+    def preview_shrink(self, requested: int) -> int:
+        proposed = max(self.current_allocation - requested, self.minimum)
+        acceptable = self.constraint.largest_acceptable(proposed)
+        if acceptable < self.minimum or acceptable >= self.current_allocation:
+            return 0
+        return self.current_allocation - acceptable
+
+
+def runners():
+    """Three running malleable jobs with distinct start times and sizes."""
+    return [
+        FakeRunner("oldest", start_time=10.0, current_allocation=4),
+        FakeRunner("middle", start_time=20.0, current_allocation=2),
+        FakeRunner("newest", start_time=30.0, current_allocation=8),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# FPSMA
+# ---------------------------------------------------------------------------
+
+
+def test_fpsma_grow_favours_the_earliest_started_job():
+    policy = FPSMA()
+    plan = policy.plan_grow(runners(), grow_value=10)
+    # The oldest job absorbs the whole offer (it can take 42 more).
+    assert len(plan) == 1
+    assert plan[0].runner.name == "oldest"
+    assert plan[0].offered == 10
+    assert plan[0].expected == 10
+
+
+def test_fpsma_grow_moves_on_when_the_oldest_is_saturated():
+    jobs = runners()
+    jobs[0].maximum = 6  # oldest can only take 2 more
+    policy = FPSMA()
+    plan = policy.plan_grow(jobs, grow_value=10)
+    assert [d.runner.name for d in plan] == ["oldest", "middle"]
+    assert plan[0].expected == 2
+    assert plan[1].offered == 8  # the remaining offer
+
+
+def test_fpsma_shrink_starts_from_the_latest_started_job():
+    policy = FPSMA()
+    plan = policy.plan_shrink(runners(), shrink_value=5)
+    assert [d.runner.name for d in plan] == ["newest"]
+    assert plan[0].expected == 5
+
+
+def test_fpsma_shrink_cascades_when_the_newest_cannot_give_enough():
+    policy = FPSMA()
+    plan = policy.plan_shrink(runners(), shrink_value=9)
+    # newest can give 6 (8 -> 2), middle nothing (already at min), oldest 2.
+    assert [d.runner.name for d in plan] == ["newest", "oldest"]
+    assert plan[0].expected == 6
+    assert plan[1].expected == 2
+
+
+def test_fpsma_skips_jobs_that_are_already_reconfiguring():
+    jobs = runners()
+    jobs[0].reconfiguring = True
+    plan = FPSMA().plan_grow(jobs, grow_value=4)
+    assert plan[0].runner.name == "middle"
+
+
+def test_fpsma_zero_or_negative_values_produce_empty_plans():
+    policy = FPSMA()
+    assert policy.plan_grow(runners(), 0) == []
+    assert policy.plan_shrink(runners(), -3) == []
+    assert policy.plan_grow([], 10) == []
+
+
+# ---------------------------------------------------------------------------
+# EGS
+# ---------------------------------------------------------------------------
+
+
+def test_egs_grow_spreads_equally_with_bonus_to_the_oldest():
+    policy = EquiGrowShrink()
+    plan = policy.plan_grow(runners(), grow_value=8)
+    offered = {d.runner.name: d.offered for d in plan}
+    # 8 over 3 jobs: share 2, remainder 2 goes to the two least recently
+    # started jobs (oldest and middle).
+    assert offered == {"oldest": 3, "middle": 3, "newest": 2}
+
+
+def test_egs_shrink_spreads_equally_with_malus_to_the_newest():
+    jobs = [
+        FakeRunner("oldest", 10.0, current_allocation=12),
+        FakeRunner("middle", 20.0, current_allocation=12),
+        FakeRunner("newest", 30.0, current_allocation=12),
+    ]
+    plan = EGS().plan_shrink(jobs, shrink_value=7)
+    requested = {d.runner.name: d.requested for d in plan}
+    # 7 over 3 jobs: share 2, remainder 1 taken from the most recently started.
+    assert requested == {"newest": 3, "middle": 2, "oldest": 2}
+
+
+def test_egs_respects_application_constraints_via_previews():
+    jobs = [
+        FakeRunner("ft", 10.0, current_allocation=2, maximum=32, constraint=PowerOfTwo()),
+        FakeRunner("gadget", 20.0, current_allocation=2, maximum=46),
+    ]
+    plan = EquiGrowShrink().plan_grow(jobs, grow_value=7)
+    expected = {d.runner.name: d.expected for d in plan}
+    # FT is offered 4 (share 3 + bonus 1) and accepts 2 (2 -> 4);
+    # GADGET is offered 3 and accepts 3.
+    assert expected == {"ft": 2, "gadget": 3}
+
+
+def test_egs_small_grow_value_gives_nothing_to_later_jobs():
+    plan = EquiGrowShrink().plan_grow(runners(), grow_value=2)
+    # share 0, remainder 2: only the two oldest jobs receive an offer of 1.
+    assert [d.runner.name for d in plan] == ["oldest", "middle"]
+    assert all(d.offered == 1 for d in plan)
+
+
+# ---------------------------------------------------------------------------
+# Baselines: equipartition and folding
+# ---------------------------------------------------------------------------
+
+
+def test_equipartition_grows_the_smallest_jobs_first():
+    plan = Equipartition().plan_grow(runners(), grow_value=6)
+    offered = {d.runner.name: d.offered for d in plan}
+    # Sizes are 4, 2, 8: the 2-processor job catches up first, then the
+    # 4-processor one; the 8-processor job receives the leftovers only after
+    # the others have levelled with it (they do not here).
+    assert offered["middle"] > offered.get("newest", 0)
+    assert sum(offered.values()) == 6
+
+
+def test_equipartition_shrinks_the_largest_jobs_first():
+    plan = Equipartition().plan_shrink(runners(), shrink_value=4)
+    requested = {d.runner.name: d.requested for d in plan}
+    assert requested["newest"] >= requested.get("oldest", 0)
+    assert sum(requested.values()) == 4
+
+
+def test_folding_doubles_and_halves():
+    jobs = [
+        FakeRunner("a", 10.0, current_allocation=4),
+        FakeRunner("b", 20.0, current_allocation=8),
+    ]
+    grow_plan = Folding().plan_grow(jobs, grow_value=5)
+    # Only job a can be doubled within 5 available processors.
+    assert [d.runner.name for d in grow_plan] == ["a"]
+    assert grow_plan[0].offered == 4
+
+    shrink_plan = Folding().plan_shrink(jobs, shrink_value=4)
+    assert shrink_plan[0].runner.name == "b"
+    assert shrink_plan[0].requested == 4
+
+
+def test_policy_factory():
+    assert isinstance(make_malleability_policy("FPSMA"), FPSMA)
+    assert isinstance(make_malleability_policy("egs"), EquiGrowShrink)
+    assert isinstance(make_malleability_policy("EQUIPARTITION"), Equipartition)
+    assert isinstance(make_malleability_policy("folding"), Folding)
+    with pytest.raises(ValueError):
+        make_malleability_policy("unknown")
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants shared by every policy
+# ---------------------------------------------------------------------------
+
+POLICIES = [FPSMA(), EquiGrowShrink(), Equipartition(), Folding()]
+
+runner_strategy = st.builds(
+    FakeRunner,
+    name=st.text(min_size=1, max_size=5),
+    start_time=st.floats(min_value=0, max_value=1000),
+    current_allocation=st.integers(min_value=2, max_value=46),
+    minimum=st.just(2),
+    maximum=st.just(46),
+    constraint=st.sampled_from([AnySize(), PowerOfTwo()]),
+)
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+@given(
+    jobs=st.lists(runner_strategy, min_size=0, max_size=6),
+    amount=st.integers(min_value=0, max_value=120),
+)
+@settings(max_examples=60, deadline=None)
+def test_grow_plans_never_exceed_the_available_processors(policy, jobs, amount):
+    """The sum of expected grow acceptances never exceeds the offered value,
+    and no directive targets a reconfiguring job."""
+    plan = policy.plan_grow(jobs, amount)
+    assert sum(d.expected for d in plan) <= max(amount, 0)
+    assert all(not d.runner.reconfiguring for d in plan)
+    assert all(d.offered >= 1 and 0 <= d.expected <= d.offered for d in plan)
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+@given(
+    jobs=st.lists(runner_strategy, min_size=0, max_size=6),
+    amount=st.integers(min_value=0, max_value=120),
+)
+@settings(max_examples=60, deadline=None)
+def test_shrink_plans_respect_minimum_sizes(policy, jobs, amount):
+    """No shrink plan ever asks a job for more than it can give without going
+    below its minimum size."""
+    plan = policy.plan_shrink(jobs, amount)
+    for directive in plan:
+        runner = directive.runner
+        assert directive.expected <= runner.current_allocation - runner.minimum
+    # One job never appears twice in the same plan.
+    names = [id(d.runner) for d in plan]
+    assert len(names) == len(set(names))

@@ -1,0 +1,64 @@
+"""Unit tests of the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import EmpiricalCDF, ascii_plot, cdf_plot, sparkline
+
+
+def test_ascii_plot_renders_all_series_and_legend():
+    plot = ascii_plot(
+        {
+            "first": ([0, 1, 2, 3], [0, 10, 20, 30]),
+            "second": ([0, 1, 2, 3], [30, 20, 10, 0]),
+        },
+        width=20,
+        height=6,
+        title="demo",
+        x_label="time",
+        y_label="value",
+    )
+    assert plot.splitlines()[0] == "demo"
+    assert "o first" in plot and "x second" in plot
+    assert "o" in plot and "x" in plot
+    assert "(y: value)" in plot
+    # Axis labels show the data range.
+    assert "30.0" in plot and "0.0" in plot
+
+
+def test_ascii_plot_handles_empty_and_degenerate_input():
+    assert "(no data)" in ascii_plot({}, title="empty")
+    assert "(no data)" in ascii_plot({"a": ([], [])})
+    # A single constant point must not divide by zero.
+    plot = ascii_plot({"flat": ([5.0], [7.0])}, width=10, height=4)
+    assert "o" in plot
+
+
+def test_ascii_plot_validates_dimensions():
+    with pytest.raises(ValueError):
+        ascii_plot({"a": ([1], [1])}, width=4, height=4)
+    with pytest.raises(ValueError):
+        ascii_plot({"a": ([1], [1])}, width=20, height=2)
+
+
+def test_cdf_plot_uses_percentage_axis():
+    cdfs = {
+        "fast": EmpiricalCDF.from_values([10, 20, 30]),
+        "slow": EmpiricalCDF.from_values([40, 50, 60]),
+    }
+    plot = cdf_plot(cdfs, width=30, height=8, title="cdfs", x_label="seconds")
+    assert "cumulative number of jobs (%)" in plot
+    assert "fast" in plot and "slow" in plot
+    assert "100.0" in plot  # the top of the percentage axis
+
+
+def test_sparkline_shapes():
+    line = sparkline([0, 1, 2, 3, 4, 5])
+    assert len(line) == 6
+    assert line[0] == " " and line[-1] == "@"
+    # Constant series renders a flat line, empty series renders nothing.
+    assert sparkline([3, 3, 3]) == "..."
+    assert sparkline([]) == ""
+    # Long series are downsampled to the requested width.
+    assert len(sparkline(range(1000), width=40)) == 40

@@ -1,0 +1,89 @@
+"""Unit and property tests of the empirical CDF helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import EmpiricalCDF, cdf_points, fraction_at_or_below, percentile
+
+
+def test_basic_evaluation():
+    cdf = EmpiricalCDF.from_values([10, 20, 30, 40])
+    assert cdf.fraction_at_or_below(5) == 0.0
+    assert cdf.fraction_at_or_below(10) == 0.25
+    assert cdf.fraction_at_or_below(25) == 0.5
+    assert cdf.fraction_at_or_below(40) == 1.0
+    assert cdf.percent_at_or_below(30) == 75.0
+    assert len(cdf) == 4 and not cdf.empty
+
+
+def test_percentiles_and_summary_statistics():
+    cdf = EmpiricalCDF.from_values([1, 2, 3, 4, 5])
+    assert cdf.median == 3
+    assert cdf.mean == 3
+    assert cdf.minimum == 1 and cdf.maximum == 5
+    assert cdf.percentile(0) == 1
+    assert cdf.percentile(100) == 5
+    with pytest.raises(ValueError):
+        cdf.percentile(150)
+
+
+def test_empty_cdf_behaviour():
+    cdf = EmpiricalCDF.from_values([])
+    assert cdf.empty
+    assert cdf.fraction_at_or_below(10) == 0.0
+    with pytest.raises(ValueError):
+        _ = cdf.mean
+    with pytest.raises(ValueError):
+        cdf.percentile(50)
+    xs, ys = cdf.step_points()
+    assert len(xs) == 0 and len(ys) == 0
+
+
+def test_step_points_reach_one_hundred_percent():
+    xs, ys = cdf_points([3, 1, 2])
+    assert list(xs) == [1, 2, 3]
+    assert list(ys) == pytest.approx([100 / 3, 200 / 3, 100.0])
+
+
+def test_sampled_and_dominates():
+    fast = EmpiricalCDF.from_values([10, 20, 30])
+    slow = EmpiricalCDF.from_values([40, 50, 60])
+    probes = [15, 35, 55, 70]
+    assert fast.sampled(probes) == pytest.approx([100 / 3, 100.0, 100.0, 100.0])
+    # For "smaller is better" metrics the faster distribution dominates.
+    assert fast.dominates(slow, at=probes)
+    assert not slow.dominates(fast, at=probes)
+
+
+def test_convenience_wrappers():
+    values = [5, 10, 15]
+    assert fraction_at_or_below(values, 10) == pytest.approx(2 / 3)
+    assert percentile(values, 50) == 10
+
+
+def test_unsorted_input_is_sorted_on_construction():
+    cdf = EmpiricalCDF(values=(5.0, 1.0, 3.0))
+    assert cdf.values == (1.0, 3.0, 5.0)
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_cdf_is_monotone_and_bounded(values):
+    """F is non-decreasing, 0 before the minimum and 1 at/after the maximum."""
+    cdf = EmpiricalCDF.from_values(values)
+    probes = sorted(set(values))
+    fractions = [cdf.fraction_at_or_below(x) for x in probes]
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    assert cdf.fraction_at_or_below(min(values) - 1) == 0.0
+    assert cdf.fraction_at_or_below(max(values)) == 1.0
+    assert cdf.fraction_at_or_below(max(values) + 1) == 1.0
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e4), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_median_lies_within_the_sample_range(values):
+    cdf = EmpiricalCDF.from_values(values)
+    assert cdf.minimum <= cdf.median <= cdf.maximum

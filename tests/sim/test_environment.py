@@ -1,0 +1,177 @@
+"""Unit tests of the simulation environment and its run loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_step_on_empty_schedule_raises():
+    with pytest.raises(EmptySchedule):
+        Environment().step()
+
+
+def test_run_without_events_returns_immediately():
+    env = Environment()
+    assert env.run() is None
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10)
+        yield env.timeout(5)
+        return env.now
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == 15
+    assert env.now == 15
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_exactly_there():
+    env = Environment()
+    ticks = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+            ticks.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=10)
+    assert env.now == 10
+    assert ticks[-1] <= 10
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+        return "payload"
+
+    process = env.process(proc(env))
+    assert env.run(until=process) == "payload"
+    assert env.now == 3
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 7
+
+    process = env.process(proc(env))
+    env.run()
+    assert env.run(until=process) == 7
+
+
+def test_events_at_same_time_processed_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(5)
+        order.append(name)
+
+    env.process(proc(env, "first"))
+    env.process(proc(env, "second"))
+    env.process(proc(env, "third"))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env.timeout(3)
+    assert env.peek() == 3
+
+
+def test_peek_on_empty_queue_is_infinite():
+    assert Environment().peek() == float("inf")
+
+
+def test_unhandled_process_failure_propagates_out_of_run():
+    env = Environment()
+
+    def broken(env):
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    env.process(broken(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_failure_handled_by_waiter_does_not_propagate():
+    env = Environment()
+
+    def broken(env):
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    def guard(env, victim):
+        try:
+            yield victim
+        except RuntimeError:
+            return "caught"
+
+    victim = env.process(broken(env))
+    guard_proc = env.process(guard(env, victim))
+    env.run()
+    assert guard_proc.value == "caught"
+
+
+def test_nested_process_waiting():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(4)
+        return 11
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value * 2
+
+    process = env.process(outer(env))
+    env.run()
+    assert process.value == 22
+    assert env.now == 4
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    process = env.process(proc(env))
+    env.run()
+    assert seen == [process]
+    assert env.active_process is None

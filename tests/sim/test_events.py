@@ -1,0 +1,232 @@
+"""Unit tests of events, conditions and interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt
+
+
+def test_event_lifecycle_flags():
+    env = Environment()
+    event = env.event()
+    assert not event.triggered
+    assert not event.processed
+    event.succeed("value")
+    assert event.triggered
+    assert not event.processed
+    env.run()
+    assert event.processed
+    assert event.ok
+    assert event.value == "value"
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+    with pytest.raises(RuntimeError):
+        event.fail(RuntimeError("nope"))
+
+
+def test_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+    with pytest.raises(RuntimeError):
+        _ = event.ok
+
+
+def test_fail_requires_an_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_timeout_carries_value_and_delay():
+    env = Environment()
+    timeout = env.timeout(5, value="done")
+    assert timeout.delay == 5
+
+    def proc(env, timeout):
+        value = yield timeout
+        return (env.now, value)
+
+    process = env.process(proc(env, timeout))
+    env.run()
+    assert process.value == (5, "done")
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        result = yield AllOf(env, [env.timeout(2, "a"), env.timeout(6, "b")])
+        return (env.now, sorted(result.values()))
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == (6, ["a", "b"])
+
+
+def test_any_of_returns_at_first_event():
+    env = Environment()
+
+    def proc(env):
+        result = yield AnyOf(env, [env.timeout(2, "fast"), env.timeout(6, "slow")])
+        return (env.now, list(result.values()))
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == (2, ["fast"])
+
+
+def test_condition_operators_and_or():
+    env = Environment()
+
+    def both(env):
+        yield env.timeout(1) & env.timeout(3)
+        return env.now
+
+    def either(env):
+        yield env.timeout(1) | env.timeout(3)
+        return env.now
+
+    b = env.process(both(env))
+    e = env.process(either(env))
+    env.run()
+    assert b.value == 3
+    assert e.value == 1
+
+
+def test_empty_all_of_succeeds_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield AllOf(env, [])
+        return len(result)
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == 0
+
+
+def test_condition_requires_same_environment():
+    env_a, env_b = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env_a, [env_a.timeout(1), env_b.timeout(1)])
+
+
+def test_condition_fails_when_subevent_fails():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1)
+        raise ValueError("inner failure")
+
+    def waiter(env, target):
+        try:
+            yield AllOf(env, [env.timeout(5), target])
+        except ValueError as error:
+            return str(error)
+
+    target = env.process(failing(env))
+    waiter_proc = env.process(waiter(env, target))
+    env.run()
+    assert waiter_proc.value == "inner failure"
+
+
+def test_interrupt_carries_cause():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            return (env.now, interrupt.cause)
+
+    def interrupter(env, victim):
+        yield env.timeout(7)
+        victim.interrupt(cause={"reason": "shrink"})
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == (7, {"reason": "shrink"})
+
+
+def test_interrupted_process_can_keep_waiting():
+    env = Environment()
+
+    def sleeper(env):
+        interrupted_at = None
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            interrupted_at = env.now
+        yield env.timeout(10)
+        return (interrupted_at, env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == (3, 13)
+
+
+def test_cannot_interrupt_finished_process():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        process.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    failures = []
+
+    def selfish(env):
+        try:
+            env.active_process.interrupt()
+        except RuntimeError as error:
+            failures.append(str(error))
+        yield env.timeout(1)
+
+    env.process(selfish(env))
+    env.run()
+    assert len(failures) == 1
+
+
+def test_yielding_a_non_event_raises_type_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42  # type: ignore[misc]
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_process_is_alive_and_target():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    process = env.process(proc(env))
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+    assert process.target is None

@@ -1,0 +1,169 @@
+"""Unit tests of the workload specifications and generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.koala import JobKind
+from repro.sim import RandomStreams
+from repro.workloads import (
+    JobSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+    wm_prime_workload,
+    wm_workload,
+    wmr_prime_workload,
+    wmr_workload,
+)
+
+
+def rng(seed=1):
+    return RandomStreams(seed)["workload"]
+
+
+# ---------------------------------------------------------------------------
+# JobSpec / WorkloadSpec
+# ---------------------------------------------------------------------------
+
+
+def test_job_spec_validation():
+    with pytest.raises(ValueError):
+        JobSpec(submit_time=-1, profile_name="ft")
+    with pytest.raises(ValueError):
+        JobSpec(submit_time=0, profile_name="ft", initial_processors=0)
+    with pytest.raises(ValueError):
+        JobSpec(submit_time=0, profile_name="ft", minimum_processors=4, maximum_processors=2)
+
+
+def test_job_spec_builds_matching_jobs():
+    malleable = JobSpec(submit_time=0, profile_name="gadget2", kind=JobKind.MALLEABLE)
+    rigid = JobSpec(
+        submit_time=0, profile_name="ft", kind=JobKind.RIGID, initial_processors=2
+    )
+    job_m = malleable.build_job()
+    job_r = rigid.build_job()
+    assert job_m.is_malleable and job_m.maximum_processors == 46
+    assert not job_r.is_malleable and job_r.total_processors == 2
+    assert not job_r.profile.malleable
+
+
+def test_workload_spec_sorts_and_summarises():
+    spec = WorkloadSpec(
+        name="test",
+        jobs=[
+            JobSpec(submit_time=100, profile_name="ft"),
+            JobSpec(submit_time=0, profile_name="gadget2"),
+            JobSpec(submit_time=50, profile_name="ft", kind=JobKind.RIGID),
+        ],
+    )
+    assert [job.submit_time for job in spec] == [0, 50, 100]
+    assert len(spec) == 3
+    assert spec.duration == 100
+    assert spec.malleable_fraction == pytest.approx(2 / 3)
+    assert spec.profile_counts() == {"ft": 2, "gadget2": 1}
+    assert spec[0].profile_name == "gadget2"
+
+
+def test_workload_subset_and_scaling():
+    spec = wm_workload(rng(), job_count=10)
+    subset = spec.subset(4)
+    assert len(subset) == 4
+    assert subset.jobs == spec.jobs[:4]
+    compressed = spec.scaled_arrivals(0.25)
+    assert compressed.duration == pytest.approx(spec.duration * 0.25)
+    assert len(compressed) == len(spec)
+    with pytest.raises(ValueError):
+        spec.scaled_arrivals(0)
+
+
+# ---------------------------------------------------------------------------
+# Paper workloads
+# ---------------------------------------------------------------------------
+
+
+def test_wm_is_all_malleable_with_two_minute_arrivals():
+    spec = wm_workload(rng(), job_count=50)
+    assert len(spec) == 50
+    assert spec.malleable_fraction == 1.0
+    gaps = [b.submit_time - a.submit_time for a, b in zip(spec.jobs, spec.jobs[1:])]
+    assert all(gap == pytest.approx(120.0) for gap in gaps)
+    # Initial and minimum sizes are 2; maxima follow the paper (32 FT, 46 GADGET).
+    assert all(job.initial_processors == 2 for job in spec)
+    for job in spec:
+        expected_max = 32 if job.profile_name == "ft" else 46
+        assert job.maximum_processors == expected_max
+
+
+def test_wmr_is_half_rigid_with_size_two():
+    spec = wmr_workload(rng(), job_count=200)
+    rigid = [job for job in spec if job.kind is JobKind.RIGID]
+    assert 0.35 < len(rigid) / len(spec) < 0.65
+    assert all(job.initial_processors == 2 for job in rigid)
+    assert all(job.maximum_processors == job.initial_processors for job in rigid)
+
+
+def test_prime_workloads_use_thirty_second_arrivals():
+    spec = wm_prime_workload(rng(), job_count=20)
+    gaps = [b.submit_time - a.submit_time for a, b in zip(spec.jobs, spec.jobs[1:])]
+    assert all(gap == pytest.approx(30.0) for gap in gaps)
+    spec_mixed = wmr_prime_workload(rng(), job_count=20)
+    assert spec_mixed.duration == pytest.approx(19 * 30.0)
+
+
+def test_workloads_mix_both_applications_roughly_uniformly():
+    spec = wm_workload(rng(), job_count=300)
+    counts = spec.profile_counts()
+    assert set(counts) == {"ft", "gadget2"}
+    assert 0.35 < counts["ft"] / 300 < 0.65
+
+
+def test_generator_is_reproducible_and_seed_sensitive():
+    a = wm_workload(rng(seed=5), job_count=30)
+    b = wm_workload(rng(seed=5), job_count=30)
+    c = wm_workload(rng(seed=6), job_count=30)
+    assert [j.profile_name for j in a] == [j.profile_name for j in b]
+    assert [j.profile_name for j in a] != [j.profile_name for j in c]
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        WorkloadGenerator(job_count=-1)
+    with pytest.raises(ValueError):
+        WorkloadGenerator(interarrival=0)
+    with pytest.raises(ValueError):
+        WorkloadGenerator(malleable_fraction=1.5)
+    with pytest.raises(ValueError):
+        WorkloadGenerator(profiles=())
+
+
+def test_poisson_arrivals_vary_but_keep_the_mean():
+    generator = WorkloadGenerator(job_count=200, interarrival=60.0, poisson_arrivals=True)
+    spec = generator.generate(rng(7), name="poisson")
+    gaps = [b.submit_time - a.submit_time for a, b in zip(spec.jobs, spec.jobs[1:])]
+    assert len(set(round(g, 3) for g in gaps)) > 10
+    assert 40.0 < sum(gaps) / len(gaps) < 80.0
+
+
+@given(
+    job_count=st.integers(min_value=0, max_value=60),
+    malleable_fraction=st.floats(min_value=0.0, max_value=1.0),
+    interarrival=st.floats(min_value=1.0, max_value=600.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_generated_workloads_are_well_formed(job_count, malleable_fraction, interarrival):
+    """Every generated workload is sorted, has the requested size and only
+    contains jobs with consistent size bounds."""
+    generator = WorkloadGenerator(
+        job_count=job_count,
+        interarrival=interarrival,
+        malleable_fraction=malleable_fraction,
+    )
+    spec = generator.generate(rng(3), name="prop")
+    assert len(spec) == job_count
+    times = [job.submit_time for job in spec]
+    assert times == sorted(times)
+    for job in spec:
+        assert job.minimum_processors <= (job.maximum_processors or job.minimum_processors)
+        assert job.initial_processors >= 1

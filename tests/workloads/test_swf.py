@@ -1,0 +1,119 @@
+"""Unit tests of the Standard Workload Format reader/writer and conversion."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.koala import JobKind
+from repro.sim import RandomStreams
+from repro.workloads import (
+    SwfJob,
+    SwfReader,
+    SwfWriter,
+    wm_workload,
+    workload_from_swf,
+)
+
+SAMPLE_SWF = """\
+; Version: 2.2
+; Computer: DAS-3 (synthetic sample)
+; MaxNodes: 272
+1 0 10 300 4 -1 -1 4 600 -1 1 5 1 1 0 1 -1 -1
+2 120 -1 0 0 -1 -1 8 600 -1 0 5 1 2 0 1 -1 -1
+3 240 30 900 16 -1 -1 16 1200 -1 1 6 1 1 0 2 -1 -1
+4 360 5 45.5 2 -1 -1 2 100 -1 1 6 1 2 0 2 -1 -1
+"""
+
+
+def test_reader_parses_records_and_header():
+    reader = SwfReader()
+    jobs = reader.read(io.StringIO(SAMPLE_SWF))
+    assert len(jobs) == 4
+    assert len(reader.header) == 3
+    first = jobs[0]
+    assert first.job_number == 1
+    assert first.submit_time == 0
+    assert first.run_time == 300
+    assert first.requested_processors == 4
+    assert first.status == 1
+    assert first.valid
+    # Job 2 never ran (zero runtime): invalid.
+    assert not jobs[1].valid
+    # Fractional runtimes parse as floats.
+    assert jobs[3].run_time == pytest.approx(45.5)
+
+
+def test_reader_rejects_malformed_lines():
+    reader = SwfReader()
+    with pytest.raises(ValueError):
+        reader.parse_line("1 2 3")
+    assert reader.parse_line("") is None
+    assert reader.parse_line("; comment") is None
+
+
+def test_swf_record_validation():
+    with pytest.raises(ValueError):
+        SwfJob(fields=(1, 2, 3))
+
+
+def test_round_trip_through_writer():
+    reader = SwfReader()
+    jobs = reader.read(io.StringIO(SAMPLE_SWF))
+    buffer = io.StringIO()
+    SwfWriter(header=["Version: 2.2"]).write(jobs, buffer)
+    reparsed = SwfReader().read(io.StringIO(buffer.getvalue()))
+    assert [j.fields for j in reparsed] == [j.fields for j in jobs]
+    assert buffer.getvalue().startswith("; Version: 2.2")
+
+
+def test_workload_from_swf_skips_invalid_and_rebases_time():
+    reader = SwfReader()
+    jobs = reader.read(io.StringIO(SAMPLE_SWF))
+    spec = workload_from_swf(jobs, name="sample", malleable=True, minimum_processors=2)
+    # Job 2 is invalid, so three jobs remain; times are rebased to the first.
+    assert len(spec) == 3
+    assert spec[0].submit_time == 0.0
+    assert spec[1].submit_time == 240.0
+    assert all(job.kind is JobKind.MALLEABLE for job in spec)
+    # Maximum sizes come from the requested processor counts.
+    assert [job.maximum_processors for job in spec] == [4, 16, 2]
+    assert all(job.minimum_processors == 2 for job in spec)
+
+
+def test_workload_from_swf_rigid_mode_and_profile_map():
+    jobs = SwfReader().read(io.StringIO(SAMPLE_SWF))
+    spec = workload_from_swf(
+        jobs,
+        malleable=False,
+        profile_map={1: "ft", 2: "gadget2"},
+        max_jobs=2,
+    )
+    assert len(spec) == 2
+    assert all(job.kind is JobKind.RIGID for job in spec)
+    assert spec[0].profile_name == "ft"
+    assert spec[1].profile_name == "ft"
+    assert spec[0].initial_processors == 4
+
+
+def test_generated_workload_exports_to_swf_and_back():
+    original = wm_workload(RandomStreams(4)["workload"], job_count=25)
+    records = SwfWriter.from_workload(original)
+    assert len(records) == 25
+    spec = workload_from_swf(records, name="round-trip")
+    assert len(spec) == 25
+    assert [job.submit_time for job in spec] == [job.submit_time for job in original]
+    assert [job.maximum_processors for job in spec] == [
+        job.maximum_processors for job in original
+    ]
+
+
+def test_swf_file_io(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text(SAMPLE_SWF, encoding="utf-8")
+    jobs = SwfReader().read(path)
+    assert len(jobs) == 4
+    out_path = tmp_path / "out.swf"
+    SwfWriter().write(jobs, out_path)
+    assert len(SwfReader().read(out_path)) == 4

@@ -26,12 +26,22 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", 0))
 
 
+def bench_procs() -> int:
+    """Worker processes used for the shared figure sweeps.
+
+    The timed benchmarks stay serial so the numbers mean something; the
+    session-scoped fixtures below only *prepare* results, so they may fan out
+    (``REPRO_BENCH_PROCS=4``) to cut harness wall-clock.
+    """
+    return int(os.environ.get("REPRO_BENCH_PROCS", 1))
+
+
 @pytest.fixture(scope="session")
 def figure7_results():
     """The four Figure 7 runs, shared by all Figure 7 panel benchmarks."""
     from repro.experiments import run_figure7
 
-    return run_figure7(job_count=bench_jobs(), seed=bench_seed())
+    return run_figure7(job_count=bench_jobs(), seed=bench_seed(), jobs=bench_procs())
 
 
 @pytest.fixture(scope="session")
@@ -39,4 +49,4 @@ def figure8_results():
     """The four Figure 8 runs, shared by all Figure 8 panel benchmarks."""
     from repro.experiments import run_figure8
 
-    return run_figure8(job_count=bench_jobs(), seed=bench_seed())
+    return run_figure8(job_count=bench_jobs(), seed=bench_seed(), jobs=bench_procs())

@@ -114,7 +114,7 @@ def test_bench_figure7d_response_times(benchmark, figure7_results):
 
 def test_bench_figure7e_utilization(benchmark, figure7_results):
     metrics = _metrics(figure7_results)
-    horizon = max(r.workload.duration for r in figure7_results.values())
+    horizon = max(r.workload_duration for r in figure7_results.values())
 
     def build():
         fractions = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0)

@@ -102,7 +102,7 @@ def test_bench_figure8d_response_times(benchmark, figure8_results):
 
 def test_bench_figure8e_utilization(benchmark, figure8_results):
     metrics = _metrics(figure8_results)
-    horizon = max(r.workload.duration for r in figure8_results.values())
+    horizon = max(r.workload_duration for r in figure8_results.values())
 
     def build():
         fractions = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0)

@@ -1,14 +1,15 @@
 """Table I — the distribution of the nodes over the DAS-3 clusters.
 
-The benchmark builds the simulated DAS-3 and prints the table; the timing
-measures how fast the substrate can be instantiated (relevant because every
-experiment builds a fresh system per run).
+The benchmark builds the simulated DAS-3 and prints the table (rendered by
+the ``table1`` scenario module); the timing measures how fast the substrate
+can be instantiated (relevant because every experiment builds a fresh system
+per run).
 """
 
 from __future__ import annotations
 
-from repro.cluster import DAS3_CLUSTERS, das3_multicluster
-from repro.metrics import format_table
+from repro.cluster import das3_multicluster
+from repro.experiments.table1 import table1_report
 from repro.sim import Environment, RandomStreams
 
 
@@ -19,17 +20,7 @@ def build_das3():
 
 def test_bench_table1_das3_construction(benchmark):
     system = benchmark(build_das3)
-    rows = [
-        (spec.location, spec.nodes, spec.interconnect)
-        for spec in DAS3_CLUSTERS
-    ]
     print()
-    print(
-        format_table(
-            ["Cluster location", "Nodes", "Interconnect"],
-            rows,
-            title="Table I - the distribution of the nodes over the DAS clusters",
-        )
-    )
+    print(table1_report())
     assert system.total_processors == 272
     assert len(system) == 5

@@ -1,21 +1,34 @@
-"""Experiment drivers reproducing the paper's evaluation.
+"""Experiment layer: scenario registry, sweep engine and figure reports.
 
-One module per figure of the evaluation section plus the ablation studies
-promised in DESIGN.md:
+The layer is organised around three pieces:
 
-* :mod:`repro.experiments.figure6` — the execution-time scaling curves of the
-  two applications (Figure 6);
-* :mod:`repro.experiments.figure7` — FPSMA vs EGS under the PRA approach on
-  workloads Wm and Wmr (Figures 7(a)–7(f));
-* :mod:`repro.experiments.figure8` — FPSMA vs EGS under the PWA approach on
-  workloads W'm and W'mr (Figures 8(a)–8(f));
-* :mod:`repro.experiments.ablations` — sensitivity studies on the
-  design choices (threshold, reconfiguration overhead, placement policy,
-  baseline policies);
-* :mod:`repro.experiments.setup` — the shared experiment runner;
-* :mod:`repro.experiments.cli` — the ``repro-experiment`` command-line tool.
+* :mod:`repro.experiments.scenarios` — the declarative registry: every
+  figure, table and ablation of the paper is a
+  :class:`~repro.experiments.scenarios.ScenarioSpec` (base config, variants,
+  seed grid, reporter);
+* :mod:`repro.experiments.engine` — the sweep engine that expands specs into
+  :class:`~repro.experiments.setup.ExperimentConfig` runs, fans them out over
+  worker processes and caches results on disk keyed by config + code version;
+* the per-figure modules — :mod:`~repro.experiments.figure6`,
+  :mod:`~repro.experiments.figure7`, :mod:`~repro.experiments.figure8`,
+  :mod:`~repro.experiments.table1` and :mod:`~repro.experiments.ablations` —
+  which now only hold the report renderers and thin ``run_*`` wrappers; their
+  former hand-rolled serial loops live (once) in the engine;
+* :mod:`repro.experiments.setup` — the shared single-run machinery;
+* :mod:`repro.experiments.cli` — the ``repro-cli`` command-line tool
+  (``list-scenarios`` / ``run`` / ``sweep`` / ``custom``).
 """
 
+from repro.experiments.engine import ResultCache, run_configs
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    ScenarioVariant,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+    scenario_report,
+)
 from repro.experiments.setup import (
     ExperimentConfig,
     ExperimentResult,
@@ -25,17 +38,28 @@ from repro.experiments.setup import (
 from repro.experiments.figure6 import figure6_report, figure6_table, run_figure6
 from repro.experiments.figure7 import figure7_report, run_figure7
 from repro.experiments.figure8 import figure8_report, run_figure8
+from repro.experiments.table1 import table1_report
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "ResultCache",
+    "ScenarioSpec",
+    "ScenarioVariant",
     "build_workload",
     "figure6_report",
     "figure6_table",
     "figure7_report",
     "figure8_report",
+    "get_scenario",
+    "register_scenario",
+    "run_configs",
     "run_experiment",
     "run_figure6",
     "run_figure7",
     "run_figure8",
+    "run_scenario",
+    "scenario_names",
+    "scenario_report",
+    "table1_report",
 ]

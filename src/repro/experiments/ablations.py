@@ -11,36 +11,45 @@ results to the knobs the paper mentions but does not sweep:
   redistribution cost);
 * the *placement policy* interaction (WF vs CF vs CM/FCM);
 * resilience to *background load* submitted behind KOALA's back.
+
+Each study is declared as a :class:`~repro.experiments.scenarios.ScenarioSpec`
+(see the factories in :mod:`repro.experiments.scenarios`) and executed by the
+shared sweep engine; the ``run_*`` functions below are thin parameterised
+wrappers kept for direct programmatic use.  All of them accept ``jobs=N`` to
+fan the sweep out over worker processes and ``cache=...`` to reuse results.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.apps.profiles import ft_profile, gadget2_profile
-from repro.apps.reconfiguration import ConstantReconfigurationCost
-from repro.apps.profiles import ProfileRegistry
-from repro.cluster.background import BackgroundLoadSpec
-from repro.experiments.setup import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.setup import ExperimentResult
 from repro.metrics.reports import summary_table
 
 
+def _run(spec, *, job_count: int, seed: int, jobs: int, cache, refresh: bool):
+    from repro.experiments.scenarios import run_scenario
+
+    return run_scenario(
+        spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh
+    )
+
+
 def run_approach_ablation(
-    *, job_count: int = 60, seed: int = 0, workload: str = "W'm", policy: str = "EGS"
+    *,
+    job_count: int = 60,
+    seed: int = 0,
+    workload: str = "W'm",
+    policy: str = "EGS",
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """PRA versus PWA on the same high-load workload and policy."""
-    results: Dict[str, ExperimentResult] = {}
-    for approach in ("PRA", "PWA"):
-        config = ExperimentConfig(
-            name=f"ablation-approach-{approach}",
-            workload=workload,
-            job_count=job_count,
-            malleability_policy=policy,
-            approach=approach,
-            seed=seed,
-        )
-        results[f"{approach}/{policy}/{workload}"] = run_experiment(config)
-    return results
+    from repro.experiments.scenarios import approach_ablation_scenario
+
+    spec = approach_ablation_scenario(workload=workload, policy=policy)
+    return _run(spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh)
 
 
 def run_policy_ablation(
@@ -50,21 +59,15 @@ def run_policy_ablation(
     workload: str = "Wm",
     approach: str = "PRA",
     policies: Sequence[Optional[str]] = ("FPSMA", "EGS", "EQUIPARTITION", "FOLDING", None),
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """The paper's policies against the related-work baselines and no malleability."""
-    results: Dict[str, ExperimentResult] = {}
-    for policy in policies:
-        config = ExperimentConfig(
-            name=f"ablation-policy-{policy or 'none'}",
-            workload=workload,
-            job_count=job_count,
-            malleability_policy=policy,
-            approach=approach,
-            seed=seed,
-        )
-        label = f"{policy or 'no-malleability'}/{workload}"
-        results[label] = run_experiment(config)
-    return results
+    from repro.experiments.scenarios import policy_ablation_scenario
+
+    spec = policy_ablation_scenario(workload=workload, approach=approach, policies=policies)
+    return _run(spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh)
 
 
 def run_threshold_ablation(
@@ -73,21 +76,15 @@ def run_threshold_ablation(
     seed: int = 0,
     workload: str = "Wm",
     thresholds: Sequence[int] = (0, 4, 16, 32),
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Effect of the per-cluster idle threshold reserved for local users."""
-    results: Dict[str, ExperimentResult] = {}
-    for threshold in thresholds:
-        config = ExperimentConfig(
-            name=f"ablation-threshold-{threshold}",
-            workload=workload,
-            job_count=job_count,
-            malleability_policy="EGS",
-            approach="PRA",
-            grow_threshold=threshold,
-            seed=seed,
-        )
-        results[f"threshold={threshold}"] = run_experiment(config)
-    return results
+    from repro.experiments.scenarios import threshold_ablation_scenario
+
+    spec = threshold_ablation_scenario(workload=workload, thresholds=thresholds)
+    return _run(spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh)
 
 
 def run_overhead_ablation(
@@ -96,6 +93,9 @@ def run_overhead_ablation(
     seed: int = 0,
     workload: str = "Wm",
     submission_latencies: Sequence[float] = (0.0, 5.0, 30.0, 120.0),
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Effect of the GRAM grow/shrink overhead on job execution times.
 
@@ -103,19 +103,12 @@ def run_overhead_ablation(
     GRAM submission latency shows when reconfiguration costs start eating the
     benefit of malleability.
     """
-    results: Dict[str, ExperimentResult] = {}
-    for latency in submission_latencies:
-        config = ExperimentConfig(
-            name=f"ablation-overhead-{latency:g}",
-            workload=workload,
-            job_count=job_count,
-            malleability_policy="EGS",
-            approach="PRA",
-            gram_submission_latency=latency,
-            seed=seed,
-        )
-        results[f"gram-latency={latency:g}s"] = run_experiment(config)
-    return results
+    from repro.experiments.scenarios import overhead_ablation_scenario
+
+    spec = overhead_ablation_scenario(
+        workload=workload, submission_latencies=submission_latencies
+    )
+    return _run(spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh)
 
 
 def run_reconfiguration_cost_ablation(
@@ -124,49 +117,20 @@ def run_reconfiguration_cost_ablation(
     seed: int = 0,
     workload: str = "Wm",
     costs: Sequence[float] = (0.0, 5.0, 30.0, 90.0),
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
-    """Effect of the application-side data-redistribution pause."""
-    results: Dict[str, ExperimentResult] = {}
-    for cost in costs:
-        registry = ProfileRegistry()
-        registry.register(
-            ft_profile(reconfiguration=ConstantReconfigurationCost(cost)), overwrite=True
-        )
-        registry.register(
-            gadget2_profile(reconfiguration=ConstantReconfigurationCost(cost)), overwrite=True
-        )
-        config = ExperimentConfig(
-            name=f"ablation-reconfig-{cost:g}",
-            workload=workload,
-            job_count=job_count,
-            malleability_policy="EGS",
-            approach="PRA",
-            seed=seed,
-        )
-        # run_experiment builds jobs through the default registry; rebuild the
-        # workload here with the modified profiles instead.
-        from repro.experiments.setup import build_workload
-        from repro.sim.rng import RandomStreams
-        from repro.workloads.submission import WorkloadSubmitter
-        from repro.experiments.setup import build_system
-        from repro.metrics.collector import ExperimentMetrics
-        from repro.sim.core import Environment
+    """Effect of the application-side data-redistribution pause.
 
-        streams = RandomStreams(seed=config.seed)
-        env = Environment()
-        workload_spec = build_workload(config, streams)
-        multicluster, scheduler = build_system(config, env, streams)
-        WorkloadSubmitter(env, scheduler, workload_spec, registry=registry)
-        env.run(until=config.time_limit)
-        metrics = ExperimentMetrics.from_run(scheduler, multicluster, label=config.label)
-        results[f"reconfig-cost={cost:g}s"] = ExperimentResult(
-            config=config,
-            metrics=metrics,
-            workload=workload_spec,
-            simulated_time=env.now,
-            all_done=scheduler.all_done,
-        )
-    return results
+    The redistribution cost is an :class:`~repro.experiments.setup.ExperimentConfig`
+    field (``reconfiguration_cost``), so this sweep runs through the standard
+    engine like every other study — including caching and parallelism.
+    """
+    from repro.experiments.scenarios import reconfiguration_cost_ablation_scenario
+
+    spec = reconfiguration_cost_ablation_scenario(workload=workload, costs=costs)
+    return _run(spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh)
 
 
 def run_placement_ablation(
@@ -175,21 +139,15 @@ def run_placement_ablation(
     seed: int = 0,
     workload: str = "Wm",
     policies: Sequence[str] = ("WF", "CF", "CM", "FCM"),
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Interaction of malleability with the different placement policies."""
-    results: Dict[str, ExperimentResult] = {}
-    for placement in policies:
-        config = ExperimentConfig(
-            name=f"ablation-placement-{placement}",
-            workload=workload,
-            job_count=job_count,
-            malleability_policy="EGS",
-            approach="PRA",
-            placement_policy=placement,
-            seed=seed,
-        )
-        results[f"placement={placement}"] = run_experiment(config)
-    return results
+    from repro.experiments.scenarios import placement_ablation_scenario
+
+    spec = placement_ablation_scenario(workload=workload, policies=policies)
+    return _run(spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh)
 
 
 def run_background_load_ablation(
@@ -198,35 +156,15 @@ def run_background_load_ablation(
     seed: int = 0,
     workload: str = "Wm",
     interarrivals: Sequence[float] = (float("inf"), 300.0, 60.0),
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
     """Resilience to background load submitted directly to the local RMs."""
-    results: Dict[str, ExperimentResult] = {}
-    for interarrival in interarrivals:
-        if interarrival == float("inf"):
-            background = {}
-            label = "background=none"
-        else:
-            background = {
-                name: BackgroundLoadSpec(
-                    mean_interarrival=interarrival,
-                    mean_duration=600.0,
-                    min_processors=1,
-                    max_processors=8,
-                )
-                for name in ("vu", "uva", "delft", "multimedian", "leiden")
-            }
-            label = f"background={interarrival:g}s"
-        config = ExperimentConfig(
-            name=f"ablation-background-{interarrival:g}",
-            workload=workload,
-            job_count=job_count,
-            malleability_policy="EGS",
-            approach="PRA",
-            background=background,
-            seed=seed,
-        )
-        results[label] = run_experiment(config)
-    return results
+    from repro.experiments.scenarios import background_load_ablation_scenario
+
+    spec = background_load_ablation_scenario(workload=workload, interarrivals=interarrivals)
+    return _run(spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh)
 
 
 def ablation_report(results: Dict[str, ExperimentResult], *, title: str) -> str:

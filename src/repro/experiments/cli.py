@@ -1,22 +1,31 @@
-"""Command-line entry point: ``repro-experiment``.
+"""Command-line entry point: ``repro-cli`` (also installed as ``repro-experiment``).
+
+Every figure, table and ablation of the paper is a *scenario* in the
+declarative registry (:mod:`repro.experiments.scenarios`); the CLI is a thin
+shell over the sweep engine that runs them.
 
 Examples
 --------
-Regenerate the scaling curves of Figure 6::
+See what can be run::
 
-    repro-experiment figure6
+    repro-cli list-scenarios
 
-Run a reduced Figure 7 (60 jobs instead of 300, single seed)::
+Reproduce Figure 7 on 4 worker processes (cached: a second invocation after
+only plotting-layer edits is near-instant)::
 
-    repro-experiment figure7 --jobs 60 --seed 1
+    repro-cli run figure7 --jobs 4
 
-Run the full Figure 8 and write the report to a file::
+Run a reduced Figure 8 (60 jobs instead of 300, fresh seed, no cache)::
 
-    repro-experiment figure8 --jobs 300 --output figure8.txt
+    repro-cli run figure8 --job-count 60 --seed 1 --no-cache
 
-Run one custom configuration::
+Sweep a scenario and print the merged summary table only::
 
-    repro-experiment run --workload Wmr --policy EGS --approach PRA --jobs 120
+    repro-cli sweep ablation-placement --jobs 4
+
+Run one custom configuration outside any scenario::
+
+    repro-cli custom --workload Wmr --policy EGS --approach PRA --job-count 120
 """
 
 from __future__ import annotations
@@ -25,60 +34,132 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.experiments.ablations import (
-    ablation_report,
-    run_approach_ablation,
-    run_background_load_ablation,
-    run_overhead_ablation,
-    run_placement_ablation,
-    run_policy_ablation,
-    run_threshold_ablation,
+from repro.experiments.engine import ResultCache, default_cache_dir
+from repro.experiments.scenarios import (
+    get_scenario,
+    iter_scenarios,
+    run_scenario,
+    scenario_report,
 )
-from repro.experiments.figure6 import figure6_report, run_figure6
-from repro.experiments.figure7 import figure7_report, run_figure7
-from repro.experiments.figure8 import figure8_report, run_figure8
 from repro.experiments.setup import ExperimentConfig, run_experiment
 from repro.metrics.reports import metrics_to_csv, summary_table
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return value
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every command that executes experiment runs."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes to fan the runs out over (default 1: serial)",
+    )
+    parser.add_argument(
+        "--job-count",
+        type=_positive_int,
+        default=None,
+        help="jobs per workload (default: scenario's)",
+    )
+    parser.add_argument(
+        "--seed", type=_non_negative_int, default=None, help="root random seed"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=_non_negative_int,
+        default=None,
+        help="idle processors reserved for local users when growing",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the result cache"
+    )
+    parser.add_argument(
+        "--refresh", action="store_true", help="ignore cached results but store fresh ones"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The argument parser of ``repro-experiment``."""
+    """The argument parser of ``repro-cli``."""
     parser = argparse.ArgumentParser(
-        prog="repro-experiment",
+        prog="repro-cli",
         description="Reproduce the experiments of 'Scheduling Malleable Applications "
         "in Multicluster Systems' (CLUSTER 2007).",
     )
     parser.add_argument("--output", help="write the report to this file instead of stdout")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("figure6", help="execution-time scaling curves of FT and GADGET-2")
-
-    for figure in ("figure7", "figure8"):
-        sub = subparsers.add_parser(figure, help=f"reproduce {figure} (4 scheduler runs)")
-        sub.add_argument("--jobs", type=int, default=300, help="jobs per workload (default 300)")
-        sub.add_argument("--seed", type=int, default=0, help="root random seed")
-        sub.add_argument(
-            "--threshold", type=int, default=0, help="idle processors reserved for local users"
-        )
-
-    ablation = subparsers.add_parser("ablation", help="run one of the ablation sweeps")
-    ablation.add_argument(
-        "study",
-        choices=["approach", "policy", "threshold", "overhead", "placement", "background"],
+    subparsers.add_parser(
+        "list-scenarios", help="list every registered scenario with its run count"
     )
-    ablation.add_argument("--jobs", type=int, default=60)
-    ablation.add_argument("--seed", type=int, default=0)
 
-    run = subparsers.add_parser("run", help="run a single custom configuration")
-    run.add_argument("--workload", default="Wm", help="Wm, Wmr, W'm or W'mr")
-    run.add_argument("--policy", default="FPSMA", help="FPSMA, EGS, EQUIPARTITION, FOLDING or none")
-    run.add_argument("--approach", default="PRA", help="PRA or PWA")
-    run.add_argument("--placement", default="WF", help="WF, CF, CM or FCM")
-    run.add_argument("--jobs", type=int, default=300)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--threshold", type=int, default=0)
-    run.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
+    run = subparsers.add_parser(
+        "run", help="run a scenario and print its full figure/table report"
+    )
+    run.add_argument("scenario", help="scenario name (see list-scenarios)")
+    _add_sweep_options(run)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a scenario's config grid and print the merged summary"
+    )
+    sweep.add_argument("scenario", help="scenario name (see list-scenarios)")
+    _add_sweep_options(sweep)
+    sweep.add_argument(
+        "--csv", action="store_true", help="emit per-job CSV (all runs concatenated)"
+    )
+
+    custom = subparsers.add_parser(
+        "custom", help="run a single custom configuration outside any scenario"
+    )
+    custom.add_argument("--workload", default="Wm", help="Wm, Wmr, W'm or W'mr")
+    custom.add_argument(
+        "--policy", default="FPSMA", help="FPSMA, EGS, EQUIPARTITION, FOLDING or none"
+    )
+    custom.add_argument("--approach", default="PRA", help="PRA or PWA")
+    custom.add_argument("--placement", default="WF", help="WF, CF, CM or FCM")
+    custom.add_argument("--job-count", type=_positive_int, default=300)
+    custom.add_argument("--seed", type=_non_negative_int, default=0)
+    custom.add_argument("--threshold", type=_non_negative_int, default=0)
+    custom.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
     return parser
+
+
+def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _overrides_from(args: argparse.Namespace) -> Optional[dict]:
+    if args.threshold is not None:
+        return {"grow_threshold": args.threshold}
+    return None
+
+
+def _list_scenarios_report() -> str:
+    lines = ["Registered scenarios:", ""]
+    for spec in iter_scenarios():
+        runs = "static report" if spec.is_static else f"{spec.run_count()} runs"
+        lines.append(f"  {spec.name:<24} {runs:<14} {spec.title}")
+    lines.append("")
+    lines.append("Run one with: repro-cli run <name> [--jobs N] [--job-count N] [--seed N]")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -86,31 +167,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.command == "figure6":
-        report = figure6_report(run_figure6())
-    elif args.command == "figure7":
-        results = run_figure7(job_count=args.jobs, seed=args.seed, grow_threshold=args.threshold)
-        report = figure7_report(results)
-    elif args.command == "figure8":
-        results = run_figure8(job_count=args.jobs, seed=args.seed, grow_threshold=args.threshold)
-        report = figure8_report(results)
-    elif args.command == "ablation":
-        runners = {
-            "approach": run_approach_ablation,
-            "policy": run_policy_ablation,
-            "threshold": run_threshold_ablation,
-            "overhead": run_overhead_ablation,
-            "placement": run_placement_ablation,
-            "background": run_background_load_ablation,
-        }
-        results = runners[args.study](job_count=args.jobs, seed=args.seed)
-        report = ablation_report(results, title=f"Ablation study: {args.study}")
-    elif args.command == "run":
+    if args.command == "list-scenarios":
+        report = _list_scenarios_report()
+    elif args.command in ("run", "sweep"):
+        try:
+            spec = get_scenario(args.scenario)
+        except ValueError as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises
+        if spec.is_static:
+            if args.command == "sweep":
+                parser.error(f"scenario {spec.name!r} is static; use 'run' instead")
+                return 2  # pragma: no cover
+            report = scenario_report(spec)
+        else:
+            results = run_scenario(
+                spec,
+                job_count=args.job_count,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache=_cache_from(args),
+                refresh=args.refresh,
+                overrides=_overrides_from(args),
+            )
+            if args.command == "run":
+                report = scenario_report(spec, results)
+            elif getattr(args, "csv", False):
+                report = "\n".join(
+                    metrics_to_csv(result.metrics) for result in results.values()
+                )
+            else:
+                report = summary_table(
+                    {label: r.metrics for label, r in results.items()},
+                    title=f"Sweep {spec.name} ({len(results)} runs)",
+                )
+    elif args.command == "custom":
         policy = None if args.policy.lower() in ("none", "off") else args.policy
         config = ExperimentConfig(
-            name="cli-run",
+            name="cli-custom",
             workload=args.workload,
-            job_count=args.jobs,
+            job_count=args.job_count,
             malleability_policy=policy,
             approach=args.approach,
             placement_policy=args.placement,

@@ -1,0 +1,208 @@
+"""Sweep engine: run many experiment configurations fast and only once.
+
+The engine is the single execution path of the experiments layer.  Every
+figure, table and ablation declares *what* to run (a
+:class:`~repro.experiments.scenarios.ScenarioSpec`); this module decides
+*how*: it fans the expanded configurations out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``), consults an
+on-disk result cache before paying for any simulation, and merges the
+results back in the stable order the configurations were given in.
+
+Caching
+-------
+A result is keyed by a SHA-256 hash of (a) the complete JSON representation
+of its :class:`~repro.experiments.setup.ExperimentConfig` and (b) a *code
+version* digest over every source file of the :mod:`repro` package.  Editing
+any simulator source invalidates the whole cache; editing nothing makes a
+re-run of an already-computed figure near-instant.  Only JSON travels
+through the cache and across process boundaries, so cached, subprocess and
+in-process results are exactly interchangeable (see
+:meth:`repro.metrics.collector.ExperimentMetrics.to_dict`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import repro
+from repro.experiments.setup import ExperimentConfig, ExperimentResult, run_experiment
+from repro.metrics.collector import ExperimentMetrics
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_code_version_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """The result-cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file; changes whenever the code does.
+
+    Memoised per process: the package sources do not change underneath a
+    running sweep.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """Content hash identifying one run: configuration plus code version."""
+    payload = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    digest = hashlib.sha256()
+    digest.update(payload.encode())
+    digest.update(code_version().encode())
+    return digest.hexdigest()
+
+
+def result_to_record(result: ExperimentResult) -> Dict[str, Any]:
+    """JSON-compatible record of one result (the cache/IPC wire format)."""
+    return {
+        "config": result.config.to_dict(),
+        "metrics": result.metrics.to_dict(),
+        "simulated_time": float(result.simulated_time),
+        "all_done": bool(result.all_done),
+        "workload_duration": float(result.workload_duration),
+    }
+
+
+def record_to_result(record: Dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_record` (the workload spec itself is not kept)."""
+    return ExperimentResult(
+        config=ExperimentConfig.from_dict(record["config"]),
+        metrics=ExperimentMetrics.from_dict(record["metrics"]),
+        workload=None,
+        simulated_time=float(record["simulated_time"]),
+        all_done=bool(record["all_done"]),
+        workload_duration=float(record["workload_duration"]),
+    )
+
+
+class ResultCache:
+    """On-disk store of experiment results, one JSON file per configuration."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        """The cache file a result for *config* lives in (existing or not)."""
+        return self.directory / f"{config_key(config)}.json"
+
+    def load(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """The cached result for *config*, or ``None`` on a miss.
+
+        Unreadable or truncated cache files count as misses: the cache is an
+        accelerator, never a source of errors.
+        """
+        path = self.path_for(config)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return record_to_result(record)
+
+    def store(self, result: ExperimentResult) -> Path:
+        """Persist *result*; returns the cache file written."""
+        path = self.path_for(result.config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(result_to_record(result), sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see partial files
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number of files removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def _execute_record(config_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one configuration, return its JSON record.
+
+    Takes and returns plain dicts so nothing fancier than JSON-shaped data
+    ever crosses the process boundary.
+    """
+    config = ExperimentConfig.from_dict(config_data)
+    return result_to_record(run_experiment(config))
+
+
+def run_configs(
+    configs: Sequence[ExperimentConfig],
+    *,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, Path, None] = None,
+    refresh: bool = False,
+) -> List[ExperimentResult]:
+    """Run *configs*, in parallel and against the cache, in stable order.
+
+    Parameters
+    ----------
+    configs:
+        The configurations to run.  The returned list matches this order
+        exactly, regardless of which runs were cached or which subprocess
+        finished first.
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs everything in
+        this process; higher values fan the cache misses out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.  Seeds live in the
+        configurations themselves, so the schedule of workers cannot change
+        any result.
+    cache:
+        A :class:`ResultCache`, a directory for one, or ``None`` to run
+        without caching.
+    refresh:
+        Ignore cached entries (but still store fresh results).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    store = cache if isinstance(cache, ResultCache) or cache is None else ResultCache(cache)
+
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    misses: List[int] = []
+    for index, config in enumerate(configs):
+        cached = store.load(config) if store is not None and not refresh else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            misses.append(index)
+
+    if misses and jobs > 1:
+        worker_count = min(jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            records = pool.map(
+                _execute_record, [configs[index].to_dict() for index in misses]
+            )
+            for index, record in zip(misses, records):
+                results[index] = record_to_result(record)
+    else:
+        for index in misses:
+            results[index] = run_experiment(configs[index])
+
+    if store is not None:
+        for index in misses:
+            store.store(results[index])
+    return [result for result in results if result is not None]

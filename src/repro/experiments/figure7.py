@@ -19,9 +19,9 @@ Wm.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
-from repro.experiments.setup import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.setup import ExperimentConfig, ExperimentResult
 from repro.metrics.asciiplot import cdf_plot
 from repro.metrics.collector import ExperimentMetrics
 from repro.metrics.reports import cdf_probe_table, comparison_table, summary_table
@@ -62,16 +62,28 @@ def run_figure7(
     seed: int = 0,
     combinations: Sequence[tuple] = FIGURE7_COMBINATIONS,
     grow_threshold: int = 0,
+    jobs: int = 1,
+    cache=None,
+    refresh: bool = False,
 ) -> Dict[str, ExperimentResult]:
-    """Run all Figure 7 combinations; returns results keyed by ``"policy/workload"``."""
-    results: Dict[str, ExperimentResult] = {}
-    for policy, workload in combinations:
-        config = figure7_config(
-            policy, workload, job_count=job_count, seed=seed, grow_threshold=grow_threshold
-        )
-        result = run_experiment(config)
-        results[result.label] = result
-    return results
+    """Run all Figure 7 combinations; returns results keyed by ``"policy/workload"``.
+
+    A thin wrapper over the scenario engine: ``jobs`` fans the runs out over
+    worker processes and ``cache`` (a directory or
+    :class:`~repro.experiments.engine.ResultCache`) skips configurations that
+    already ran.
+    """
+    from repro.experiments.scenarios import figure7_scenario, run_scenario
+
+    return run_scenario(
+        figure7_scenario(combinations),
+        job_count=job_count,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        overrides={"grow_threshold": grow_threshold} if grow_threshold else None,
+    )
 
 
 def _metrics(results: Dict[str, ExperimentResult]) -> Dict[str, ExperimentMetrics]:
@@ -125,7 +137,7 @@ def figure7_report(results: Dict[str, ExperimentResult], *, samples: int = 8) ->
 
     # Panels (e) and (f): time series sampled over the span of the runs.
     horizon = max(
-        (result.workload.duration for result in results.values()), default=0.0
+        (result.workload_duration for result in results.values()), default=0.0
     )
     window_end = max(horizon, 1.0)
     fractions = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0)[:samples]

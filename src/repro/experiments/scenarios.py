@@ -1,0 +1,528 @@
+"""Declarative scenario registry for the experiments layer.
+
+A :class:`ScenarioSpec` describes one of the paper's figures, tables or
+ablation sweeps as *data*: a base :class:`~repro.experiments.setup.ExperimentConfig`
+field mapping, a tuple of :class:`ScenarioVariant`\\ s (the legend entries),
+a seed grid and a repetition count, plus the reporter that renders the merged
+results.  The :mod:`~repro.experiments.engine` turns a spec into concrete
+configurations and runs them — in parallel, against the result cache —
+without any per-figure driver code.
+
+Adding a scenario is one registry entry::
+
+    register_scenario(ScenarioSpec(
+        name="my-sweep",
+        title="My sweep",
+        base={"approach": "PRA", "placement_policy": "WF"},
+        variants=tuple(
+            ScenarioVariant(f"EGS/{w}", {"malleability_policy": "EGS", "workload": w})
+            for w in ("Wm", "Wmr")
+        ),
+        reporter=my_report,
+    ))
+
+after which ``repro-cli run my-sweep --jobs 4`` just works.
+
+Static scenarios (Figure 6's scaling curves, Table I) do not sweep
+``run_experiment`` at all; they provide a ``builder`` that renders the
+report directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.experiments.engine import ResultCache, run_configs
+from repro.experiments.setup import ExperimentConfig, ExperimentResult
+
+#: Signature of a sweep reporter: merged results keyed by variant label -> text.
+Reporter = Callable[[Dict[str, ExperimentResult]], str]
+
+
+@dataclass(frozen=True)
+class ScenarioVariant:
+    """One legend entry of a scenario: a label and its config overrides."""
+
+    label: str
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one figure/table/ablation run.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro-cli run <name>``).
+    title:
+        Human-readable one-liner shown by ``list-scenarios``.
+    base:
+        :class:`~repro.experiments.setup.ExperimentConfig` fields shared by
+        every variant.
+    variants:
+        The legend entries; each contributes ``len(seeds) * repetitions``
+        runs.
+    seeds:
+        Root seeds to run every variant with.
+    repetitions:
+        Independent repetitions per seed; repetition *r* of root seed *s*
+        runs with ``s * repetitions + r``, which is deterministic and
+        collision-free across the whole grid (distinct root seeds can never
+        share a run seed).  With the default ``repetitions=1`` the root seed
+        passes through unchanged.
+    default_job_count:
+        Jobs per workload when the caller does not override it.
+    reporter:
+        Renders the merged results into the figure's plain-text report.
+    builder:
+        For static scenarios only: renders the report directly, no sweep.
+    """
+
+    name: str
+    title: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    variants: Tuple[ScenarioVariant, ...] = ()
+    seeds: Tuple[int, ...] = (0,)
+    repetitions: int = 1
+    default_job_count: int = 300
+    reporter: Optional[Reporter] = None
+    builder: Optional[Callable[[], str]] = None
+
+    @property
+    def is_static(self) -> bool:
+        """Whether this scenario renders a report without sweeping configs."""
+        return self.builder is not None
+
+    def run_count(self) -> int:
+        """Number of experiment runs a full sweep of this scenario performs."""
+        return len(self.variants) * len(self.seeds) * self.repetitions
+
+    def expand(
+        self,
+        *,
+        job_count: Optional[int] = None,
+        seed: Optional[int] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> List[Tuple[str, ExperimentConfig]]:
+        """The concrete ``(label, config)`` runs of this scenario, in order.
+
+        *seed* replaces the spec's whole seed grid with a single root seed;
+        *overrides* wins over both the base mapping and the variants.  Labels
+        stay bare for single-seed/single-repetition sweeps and grow
+        ``@seed<N>`` / ``#rep<N>`` suffixes only when needed, so the common
+        case keys results exactly like the paper's legends
+        (``"FPSMA/Wm"``).
+        """
+        if self.is_static:
+            raise ValueError(f"scenario {self.name!r} is static and has no config grid")
+        seeds = (int(seed),) if seed is not None else self.seeds
+        pairs: List[Tuple[str, ExperimentConfig]] = []
+        for variant in self.variants:
+            for root_seed in seeds:
+                for repetition in range(self.repetitions):
+                    fields: Dict[str, Any] = dict(self.base)
+                    fields.update(variant.overrides)
+                    if overrides:
+                        fields.update(overrides)
+                    if job_count is not None:
+                        fields["job_count"] = int(job_count)
+                    else:
+                        fields.setdefault("job_count", self.default_job_count)
+                    fields["seed"] = root_seed * self.repetitions + repetition
+                    fields.setdefault(
+                        "name", f"{self.name}-{_slug(variant.label)}"
+                    )
+                    label = variant.label
+                    if len(seeds) > 1:
+                        label += f"@seed{root_seed}"
+                    if self.repetitions > 1:
+                        label += f"#rep{repetition}"
+                    pairs.append((label, ExperimentConfig(**fields)))
+        return pairs
+
+
+def _slug(label: str) -> str:
+    """Config-name-safe version of a variant label."""
+    return label.replace("/", "-").replace("'", "p").replace("=", "-").replace(" ", "")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, *, overwrite: bool = False) -> ScenarioSpec:
+    """Add *spec* to the registry (and return it)."""
+    if not overwrite and spec.name in _SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The registered scenario called *name*."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def iter_scenarios() -> Iterable[ScenarioSpec]:
+    """The registered scenarios, sorted by name."""
+    return (_SCENARIOS[name] for name in scenario_names())
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    *,
+    job_count: Optional[int] = None,
+    seed: Optional[int] = None,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    refresh: bool = False,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every configuration of *scenario* and merge the results.
+
+    The heavy lifting — parallel fan-out over ``jobs`` worker processes,
+    cache lookups and stable-order merging — happens in
+    :func:`repro.experiments.engine.run_configs`.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    pairs = spec.expand(job_count=job_count, seed=seed, overrides=overrides)
+    results = run_configs(
+        [config for _, config in pairs], jobs=jobs, cache=cache, refresh=refresh
+    )
+    return {label: result for (label, _), result in zip(pairs, results)}
+
+
+def scenario_report(
+    scenario: Union[str, ScenarioSpec],
+    results: Optional[Dict[str, ExperimentResult]] = None,
+    **run_kwargs: Any,
+) -> str:
+    """The plain-text report of *scenario* (running it first if needed)."""
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if spec.is_static:
+        assert spec.builder is not None
+        return spec.builder()
+    if results is None:
+        results = run_scenario(spec, **run_kwargs)
+    if spec.reporter is None:
+        from repro.metrics.reports import summary_table
+
+        return summary_table(
+            {label: r.metrics for label, r in results.items()}, title=spec.title
+        )
+    return spec.reporter(results)
+
+
+# ---------------------------------------------------------------------------
+# Spec factories: the paper's figures and the ablation sweeps as data
+# ---------------------------------------------------------------------------
+
+
+def _policy_workload_variants(
+    combinations: Sequence[Tuple[str, str]], name: str
+) -> Tuple[ScenarioVariant, ...]:
+    return tuple(
+        ScenarioVariant(
+            f"{policy}/{workload}",
+            {
+                "malleability_policy": policy,
+                "workload": workload,
+                "name": f"{name}-{policy}-{workload}",
+            },
+        )
+        for policy, workload in combinations
+    )
+
+
+def figure7_scenario(
+    combinations: Optional[Sequence[Tuple[str, str]]] = None,
+) -> ScenarioSpec:
+    """Figure 7: {FPSMA, EGS} x {Wm, Wmr} under PRA with Worst-Fit placement."""
+    from repro.experiments.figure7 import FIGURE7_COMBINATIONS, figure7_report
+
+    return ScenarioSpec(
+        name="figure7",
+        title="Figure 7 - FPSMA vs EGS under PRA on Wm/Wmr (6 panels)",
+        base={"approach": "PRA", "placement_policy": "WF"},
+        variants=_policy_workload_variants(
+            combinations if combinations is not None else FIGURE7_COMBINATIONS,
+            "figure7",
+        ),
+        reporter=figure7_report,
+    )
+
+
+def figure8_scenario(
+    combinations: Optional[Sequence[Tuple[str, str]]] = None,
+) -> ScenarioSpec:
+    """Figure 8: {FPSMA, EGS} x {W'm, W'mr} under PWA in a saturated system."""
+    from repro.experiments.figure8 import FIGURE8_COMBINATIONS, figure8_report
+    from repro.experiments.setup import FIGURE8_BACKGROUND_PROFILE
+
+    return ScenarioSpec(
+        name="figure8",
+        title="Figure 8 - FPSMA vs EGS under PWA on W'm/W'mr (6 panels)",
+        base={
+            "approach": "PWA",
+            "placement_policy": "WF",
+            "background_fraction": dict(FIGURE8_BACKGROUND_PROFILE),
+        },
+        variants=_policy_workload_variants(
+            combinations if combinations is not None else FIGURE8_COMBINATIONS,
+            "figure8",
+        ),
+        reporter=figure8_report,
+    )
+
+
+def figure6_scenario() -> ScenarioSpec:
+    """Figure 6: the applications' execution-time scaling curves (static)."""
+    from repro.experiments.figure6 import figure6_report, run_figure6
+
+    return ScenarioSpec(
+        name="figure6",
+        title="Figure 6 - execution time vs machines for FT and GADGET-2",
+        builder=lambda: figure6_report(run_figure6()),
+    )
+
+
+def table1_scenario() -> ScenarioSpec:
+    """Table I: the DAS-3 cluster layout the experiments run on (static)."""
+    from repro.experiments.table1 import table1_report
+
+    return ScenarioSpec(
+        name="table1",
+        title="Table I - distribution of the nodes over the DAS-3 clusters",
+        builder=table1_report,
+    )
+
+
+def _ablation_spec(
+    study: str,
+    title: str,
+    variants: Iterable[ScenarioVariant],
+    base: Optional[Mapping[str, Any]] = None,
+    *,
+    default_job_count: int = 60,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"ablation-{study}",
+        title=title,
+        base=dict(base or {}),
+        variants=tuple(variants),
+        default_job_count=default_job_count,
+        reporter=partial(_ablation_results_report, title=f"Ablation study: {study}"),
+    )
+
+
+def _ablation_results_report(results: Dict[str, ExperimentResult], *, title: str) -> str:
+    from repro.experiments.ablations import ablation_report
+
+    return ablation_report(results, title=title)
+
+
+def approach_ablation_scenario(
+    *, workload: str = "W'm", policy: str = "EGS", approaches: Sequence[str] = ("PRA", "PWA")
+) -> ScenarioSpec:
+    """PRA versus PWA on the same high-load workload and policy."""
+    return _ablation_spec(
+        "approach",
+        "Ablation - PRA vs PWA on one workload/policy",
+        (
+            ScenarioVariant(
+                f"{approach}/{policy}/{workload}",
+                {"approach": approach, "name": f"ablation-approach-{approach}"},
+            )
+            for approach in approaches
+        ),
+        base={"workload": workload, "malleability_policy": policy},
+    )
+
+
+def policy_ablation_scenario(
+    *,
+    workload: str = "Wm",
+    approach: str = "PRA",
+    policies: Sequence[Optional[str]] = ("FPSMA", "EGS", "EQUIPARTITION", "FOLDING", None),
+) -> ScenarioSpec:
+    """The paper's policies against related-work baselines and no malleability."""
+    return _ablation_spec(
+        "policy",
+        "Ablation - malleability policies incl. baselines",
+        (
+            ScenarioVariant(
+                f"{policy or 'no-malleability'}/{workload}",
+                {
+                    "malleability_policy": policy,
+                    "name": f"ablation-policy-{policy or 'none'}",
+                },
+            )
+            for policy in policies
+        ),
+        base={"workload": workload, "approach": approach},
+    )
+
+
+def threshold_ablation_scenario(
+    *, workload: str = "Wm", thresholds: Sequence[int] = (0, 4, 16, 32)
+) -> ScenarioSpec:
+    """Effect of the per-cluster idle threshold reserved for local users."""
+    return _ablation_spec(
+        "threshold",
+        "Ablation - idle-processor threshold left to local users",
+        (
+            ScenarioVariant(
+                f"threshold={threshold}",
+                {"grow_threshold": threshold, "name": f"ablation-threshold-{threshold}"},
+            )
+            for threshold in thresholds
+        ),
+        base={"workload": workload, "malleability_policy": "EGS", "approach": "PRA"},
+    )
+
+
+def overhead_ablation_scenario(
+    *, workload: str = "Wm", submission_latencies: Sequence[float] = (0.0, 5.0, 30.0, 120.0)
+) -> ScenarioSpec:
+    """Effect of the GRAM grow/shrink overhead on job execution times."""
+    return _ablation_spec(
+        "overhead",
+        "Ablation - GRAM submission latency (grow/shrink overhead)",
+        (
+            ScenarioVariant(
+                f"gram-latency={latency:g}s",
+                {
+                    "gram_submission_latency": latency,
+                    "name": f"ablation-overhead-{latency:g}",
+                },
+            )
+            for latency in submission_latencies
+        ),
+        base={"workload": workload, "malleability_policy": "EGS", "approach": "PRA"},
+    )
+
+
+def reconfiguration_cost_ablation_scenario(
+    *, workload: str = "Wm", costs: Sequence[float] = (0.0, 5.0, 30.0, 90.0)
+) -> ScenarioSpec:
+    """Effect of the application-side data-redistribution pause."""
+    return _ablation_spec(
+        "reconfiguration",
+        "Ablation - application data-redistribution cost",
+        (
+            ScenarioVariant(
+                f"reconfig-cost={cost:g}s",
+                {
+                    "reconfiguration_cost": cost,
+                    "name": f"ablation-reconfig-{cost:g}",
+                },
+            )
+            for cost in costs
+        ),
+        base={"workload": workload, "malleability_policy": "EGS", "approach": "PRA"},
+        default_job_count=40,
+    )
+
+
+def placement_ablation_scenario(
+    *, workload: str = "Wm", policies: Sequence[str] = ("WF", "CF", "CM", "FCM")
+) -> ScenarioSpec:
+    """Interaction of malleability with the different placement policies."""
+    return _ablation_spec(
+        "placement",
+        "Ablation - placement policies (WF/CF/CM/FCM)",
+        (
+            ScenarioVariant(
+                f"placement={placement}",
+                {
+                    "placement_policy": placement,
+                    "name": f"ablation-placement-{placement}",
+                },
+            )
+            for placement in policies
+        ),
+        base={"workload": workload, "malleability_policy": "EGS", "approach": "PRA"},
+    )
+
+
+def background_load_ablation_scenario(
+    *, workload: str = "Wm", interarrivals: Sequence[float] = (float("inf"), 300.0, 60.0)
+) -> ScenarioSpec:
+    """Resilience to background load submitted directly to the local RMs."""
+    from repro.cluster.background import BackgroundLoadSpec
+
+    def variant(interarrival: float) -> ScenarioVariant:
+        if interarrival == float("inf"):
+            return ScenarioVariant(
+                "background=none",
+                {"background": {}, "name": "ablation-background-inf"},
+            )
+        background = {
+            name: BackgroundLoadSpec(
+                mean_interarrival=interarrival,
+                mean_duration=600.0,
+                min_processors=1,
+                max_processors=8,
+            )
+            for name in ("vu", "uva", "delft", "multimedian", "leiden")
+        }
+        return ScenarioVariant(
+            f"background={interarrival:g}s",
+            {"background": background, "name": f"ablation-background-{interarrival:g}"},
+        )
+
+    return _ablation_spec(
+        "background",
+        "Ablation - resilience to load bypassing KOALA",
+        (variant(interarrival) for interarrival in interarrivals),
+        base={"workload": workload, "malleability_policy": "EGS", "approach": "PRA"},
+    )
+
+
+# Register the paper's scenarios.  Each entry is the single source of truth
+# for what ``repro-cli run <name>`` executes.
+for _factory in (
+    figure6_scenario,
+    figure7_scenario,
+    figure8_scenario,
+    table1_scenario,
+    approach_ablation_scenario,
+    policy_ablation_scenario,
+    threshold_ablation_scenario,
+    overhead_ablation_scenario,
+    reconfiguration_cost_ablation_scenario,
+    placement_ablation_scenario,
+    background_load_ablation_scenario,
+):
+    register_scenario(_factory())

@@ -11,8 +11,8 @@ collected :class:`~repro.metrics.collector.ExperimentMetrics`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional
 
 from repro.cluster.background import BackgroundLoadSpec
 from repro.cluster.das3 import das3_multicluster
@@ -21,12 +21,7 @@ from repro.koala.scheduler import KoalaScheduler, SchedulerConfig
 from repro.metrics.collector import ExperimentMetrics
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
-from repro.workloads.generator import (
-    wm_prime_workload,
-    wm_workload,
-    wmr_prime_workload,
-    wmr_workload,
-)
+from repro.workloads.registry import build_named_workload
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.submission import WorkloadSubmitter
 
@@ -145,6 +140,7 @@ class ExperimentConfig:
     background: Dict[str, BackgroundLoadSpec] = field(default_factory=dict)
     background_fraction: "float | Dict[str, float] | None" = None
     background_backfilling: bool = True
+    reconfiguration_cost: Optional[float] = None
     time_limit: float = DEFAULT_TIME_LIMIT
 
     @property
@@ -157,16 +153,65 @@ class ExperimentConfig:
         """A copy of this configuration with some fields replaced."""
         return replace(self, **kwargs)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation of the configuration.
+
+        Nested :class:`~repro.cluster.background.BackgroundLoadSpec` values
+        are flattened to plain dicts; everything else is already a scalar.
+        The representation is the cache key's input, so it must be complete:
+        every field that influences a run appears here.
+        """
+        data: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "background":
+                value = {
+                    name: {
+                        "mean_interarrival": spec.mean_interarrival,
+                        "mean_duration": spec.mean_duration,
+                        "min_processors": spec.min_processors,
+                        "max_processors": spec.max_processors,
+                        "start_time": spec.start_time,
+                        "end_time": spec.end_time,
+                    }
+                    for name, spec in sorted(value.items())
+                }
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        kwargs["background"] = {
+            name: BackgroundLoadSpec(**spec)
+            for name, spec in (kwargs.get("background") or {}).items()
+        }
+        return cls(**kwargs)
+
 
 @dataclass
 class ExperimentResult:
-    """The outcome of one experiment run."""
+    """The outcome of one experiment run.
+
+    ``workload`` is the full specification when the run happened in this
+    process, and ``None`` when the result was merged back from a worker
+    subprocess or loaded from the on-disk cache — those paths only transport
+    the JSON-serialisable fields.  Code that needs the submission horizon
+    should use :attr:`workload_duration`, which survives every path.
+    """
 
     config: ExperimentConfig
     metrics: ExperimentMetrics
-    workload: WorkloadSpec
+    workload: Optional[WorkloadSpec]
     simulated_time: float
     all_done: bool
+    workload_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workload is not None and not self.workload_duration:
+            self.workload_duration = float(self.workload.duration)
 
     @property
     def label(self) -> str:
@@ -177,27 +222,15 @@ class ExperimentResult:
 def build_workload(config: ExperimentConfig, streams: RandomStreams) -> WorkloadSpec:
     """Create the workload specification named by *config*.
 
-    Known names are the paper's ``Wm``, ``Wmr``, ``W'm`` and ``W'mr`` (the
-    primes may also be written ``Wm'`` / ``Wmr'`` or ``Wmp`` / ``Wmrp``).
+    Name resolution lives in :mod:`repro.workloads.registry`; the paper's
+    ``Wm``, ``Wmr``, ``W'm`` and ``W'mr`` are pre-registered (the primes may
+    also be written ``Wm'`` / ``Wmr'``) and new names become available to
+    every experiment by calling
+    :func:`~repro.workloads.registry.register_workload`.
     """
-    rng = streams["workload"]
-    name = config.workload
-    normalised = name.replace("'", "p").lower()
-    builders = {
-        "wm": wm_workload,
-        "wmr": wmr_workload,
-        "wpm": wm_prime_workload,
-        "wmp": wm_prime_workload,
-        "wmrp": wmr_prime_workload,
-        "wpmr": wmr_prime_workload,
-    }
-    try:
-        builder = builders[normalised]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; known: Wm, Wmr, W'm, W'mr"
-        ) from None
-    return builder(rng, job_count=config.job_count)
+    return build_named_workload(
+        config.workload, streams["workload"], job_count=config.job_count
+    )
 
 
 def build_system(
@@ -231,6 +264,25 @@ def build_system(
     return multicluster, scheduler
 
 
+def _profile_registry(config: ExperimentConfig):
+    """The application-profile registry for *config*.
+
+    ``None`` (the default registry) unless the configuration overrides the
+    applications' reconfiguration cost, in which case the paper's two
+    profiles are re-registered with a constant data-redistribution pause.
+    """
+    if config.reconfiguration_cost is None:
+        return None
+    from repro.apps.profiles import ProfileRegistry, ft_profile, gadget2_profile
+    from repro.apps.reconfiguration import ConstantReconfigurationCost
+
+    cost = ConstantReconfigurationCost(config.reconfiguration_cost)
+    registry = ProfileRegistry()
+    registry.register(ft_profile(reconfiguration=cost), overwrite=True)
+    registry.register(gadget2_profile(reconfiguration=cost), overwrite=True)
+    return registry
+
+
 def run_experiment(
     config: ExperimentConfig, *, workload: Optional[WorkloadSpec] = None
 ) -> ExperimentResult:
@@ -252,7 +304,9 @@ def run_experiment(
     if workload is None:
         workload = build_workload(config, streams)
     multicluster, scheduler = build_system(config, env, streams)
-    submitter = WorkloadSubmitter(env, scheduler, workload)
+    submitter = WorkloadSubmitter(
+        env, scheduler, workload, registry=_profile_registry(config)
+    )
 
     # Run until every submitted job has finished (checking periodically,
     # because the information-service poll and the background generators keep

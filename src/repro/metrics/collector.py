@@ -14,7 +14,7 @@ figures plot, already in the right form:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,6 +71,37 @@ class JobMetrics:
             shrink_count=record.shrink_count,
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (native Python scalars only)."""
+        return {
+            "name": str(self.name),
+            "profile": str(self.profile),
+            "kind": str(self.kind),
+            "submit_time": float(self.submit_time),
+            "start_time": float(self.start_time),
+            "finish_time": float(self.finish_time),
+            "average_allocation": float(self.average_allocation),
+            "maximum_allocation": int(self.maximum_allocation),
+            "grow_count": int(self.grow_count),
+            "shrink_count": int(self.shrink_count),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            profile=data["profile"],
+            kind=data["kind"],
+            submit_time=float(data["submit_time"]),
+            start_time=float(data["start_time"]),
+            finish_time=float(data["finish_time"]),
+            average_allocation=float(data["average_allocation"]),
+            maximum_allocation=int(data["maximum_allocation"]),
+            grow_count=int(data["grow_count"]),
+            shrink_count=int(data["shrink_count"]),
+        )
+
 
 class ExperimentMetrics:
     """All metrics of one finished experiment run."""
@@ -124,6 +155,53 @@ class ExperimentMetrics:
             shrink_activity=shrink_activity,
             unfinished_jobs=unfinished,
             label=label,
+        )
+
+    # -- serialisation -----------------------------------------------------------
+
+    @staticmethod
+    def _series_to_dict(series: Tuple[np.ndarray, np.ndarray]) -> Dict[str, List[float]]:
+        times, values = series
+        return {
+            "times": [float(t) for t in np.asarray(times).ravel()],
+            "values": [float(v) for v in np.asarray(values).ravel()],
+        }
+
+    @staticmethod
+    def _series_from_dict(data: Dict[str, List[float]]) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(data["times"], dtype=float),
+            np.asarray(data["values"], dtype=float),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation of the full metrics object.
+
+        The output contains only native Python scalars and lists, so
+        ``json.dumps(metrics.to_dict(), sort_keys=True)`` is deterministic:
+        two runs of the same configuration produce byte-identical dumps
+        whether they ran in-process, in a worker subprocess, or were loaded
+        back from the result cache.
+        """
+        return {
+            "label": str(self.label),
+            "unfinished_jobs": int(self.unfinished_jobs),
+            "jobs": [job.to_dict() for job in self.jobs],
+            "utilization": self._series_to_dict(self.utilization),
+            "grow_activity": self._series_to_dict(self.grow_activity),
+            "shrink_activity": self._series_to_dict(self.shrink_activity),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentMetrics":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(
+            [JobMetrics.from_dict(job) for job in data["jobs"]],
+            utilization=cls._series_from_dict(data["utilization"]),
+            grow_activity=cls._series_from_dict(data["grow_activity"]),
+            shrink_activity=cls._series_from_dict(data["shrink_activity"]),
+            unfinished_jobs=int(data["unfinished_jobs"]),
+            label=data["label"],
         )
 
     # -- selection ---------------------------------------------------------------

@@ -153,7 +153,10 @@ class Environment:
         ----------
         until:
             * ``None`` — run until the event queue is exhausted;
-            * a number — run until the clock reaches that time;
+            * a number — run until the clock reaches that time (a value equal
+              to the current time is tolerated as a no-op, so drivers may
+              compute ``until=min(limit, ...)`` without guarding the moment
+              the clock reaches the limit);
             * an :class:`~repro.sim.events.Event` — run until that event is
               processed and return its value.
 
@@ -171,9 +174,12 @@ class Environment:
                 stop_event.callbacks.append(StopSimulation.callback)
             else:
                 at = float(until)
-                if at <= self._now:
+                if at == self._now:
+                    # Nothing can happen between now and now.
+                    return None
+                if at < self._now:
                     raise ValueError(
-                        f"until ({at}) must be greater than the current time ({self._now})"
+                        f"until ({at}) must not be earlier than the current time ({self._now})"
                     )
                 stop_event = Event(self)
                 stop_event._ok = True

@@ -69,7 +69,13 @@ class Event:
     by appending callables to :attr:`callbacks`) are invoked with the event as
     their sole argument when the event is processed.  After processing,
     :attr:`callbacks` is ``None`` and adding further callbacks is an error.
+
+    Events are the single most allocated object of a simulation run, so the
+    whole hierarchy declares ``__slots__``; subclasses outside the kernel may
+    still add a ``__dict__`` by simply not declaring slots of their own.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -172,6 +178,8 @@ class Timeout(Event):
         Optional value the timeout succeeds with.
     """
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -189,6 +197,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event used to start a newly created process immediately."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: Any) -> None:
         super().__init__(env)
@@ -256,6 +266,8 @@ class Condition(Event):
     :class:`AnyOf` convenience subclasses (or the ``&``/``|`` operators on
     events).
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -329,12 +341,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition satisfied when *all* given events have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition satisfied when *any* of the given events has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

@@ -25,11 +25,21 @@ from repro.workloads.generator import (
     wm_prime_workload,
     wmr_prime_workload,
 )
+from repro.workloads.registry import (
+    build_named_workload,
+    known_workloads,
+    register_workload,
+    resolve_workload,
+)
 from repro.workloads.swf import SwfField, SwfJob, SwfReader, SwfWriter, workload_from_swf
 from repro.workloads.submission import WorkloadSubmitter
 
 __all__ = [
     "JobSpec",
+    "build_named_workload",
+    "known_workloads",
+    "register_workload",
+    "resolve_workload",
     "SwfField",
     "SwfJob",
     "SwfReader",

@@ -1,0 +1,100 @@
+"""Named-workload registry.
+
+The paper names its workloads (``Wm``, ``Wmr``, ``W'm``, ``W'mr``) and the
+experiment layer refers to them by those names.  This module owns the mapping
+from a workload *name* to the generator function that builds it, so new
+workloads become available to every scenario by registering one entry instead
+of editing the experiment runner.
+
+Names are normalised before lookup: primes may be written ``'`` or ``p`` and
+case is ignored, so ``W'm``, ``Wm'``, ``wmp`` and ``WPM`` all resolve to the
+same builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.workloads.generator import (
+    wm_prime_workload,
+    wm_workload,
+    wmr_prime_workload,
+    wmr_workload,
+)
+from repro.workloads.spec import WorkloadSpec
+
+#: Signature of a named-workload builder.
+WorkloadBuilder = Callable[..., WorkloadSpec]
+
+#: Canonical name -> builder.  Populated below and via :func:`register_workload`.
+_BUILDERS: Dict[str, WorkloadBuilder] = {}
+
+#: Normalised alias -> canonical name.
+_ALIASES: Dict[str, str] = {}
+
+
+def _normalise(name: str) -> str:
+    """Normalised lookup key of a workload name."""
+    return name.replace("'", "p").lower()
+
+
+def register_workload(
+    name: str,
+    builder: WorkloadBuilder,
+    *,
+    aliases: Tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register *builder* under *name* (and optional aliases).
+
+    The builder must accept ``(rng, *, job_count)`` and return a
+    :class:`~repro.workloads.spec.WorkloadSpec`.
+    """
+    keys = [_normalise(name)] + [_normalise(alias) for alias in aliases]
+    if not overwrite:
+        for key in keys:
+            if key in _ALIASES:
+                raise ValueError(
+                    f"workload alias {key!r} already registered for {_ALIASES[key]!r}; "
+                    "pass overwrite=True to replace it"
+                )
+    _BUILDERS[name] = builder
+    for key in keys:
+        _ALIASES[key] = name
+
+
+def known_workloads() -> Tuple[str, ...]:
+    """Canonical names of all registered workloads, in registration order."""
+    return tuple(_BUILDERS)
+
+
+def resolve_workload(name: str) -> WorkloadBuilder:
+    """The builder registered for *name* (after normalisation).
+
+    Raises
+    ------
+    ValueError
+        If no workload is registered under that name.
+    """
+    try:
+        return _BUILDERS[_ALIASES[_normalise(name)]]
+    except KeyError:
+        known = ", ".join(known_workloads())
+        raise ValueError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def build_named_workload(
+    name: str, rng: np.random.Generator, *, job_count: int
+) -> WorkloadSpec:
+    """Build the workload registered under *name* with *rng* and *job_count*."""
+    return resolve_workload(name)(rng, job_count=job_count)
+
+
+# The paper's four workloads.  ``W'm`` normalises to ``wpm`` while the
+# historical spelling ``Wm'`` normalises to ``wmp``; register both.
+register_workload("Wm", wm_workload)
+register_workload("Wmr", wmr_workload)
+register_workload("W'm", wm_prime_workload, aliases=("Wm'",))
+register_workload("W'mr", wmr_prime_workload, aliases=("Wmr'",))

@@ -1,4 +1,4 @@
-"""Tests of the ``repro-experiment`` command-line interface."""
+"""Tests of the ``repro-cli`` command-line interface."""
 
 from __future__ import annotations
 
@@ -7,13 +7,22 @@ import pytest
 from repro.experiments.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the CLI's default result cache at a per-test directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 def test_parser_knows_all_commands():
     parser = build_parser()
-    for command in ("figure6", "figure7", "figure8", "ablation", "run"):
-        args = parser.parse_args(
-            [command, "approach"] if command == "ablation" else [command]
-        )
-        assert args.command == command
+    samples = {
+        "list-scenarios": ["list-scenarios"],
+        "run": ["run", "figure7"],
+        "sweep": ["sweep", "figure7"],
+        "custom": ["custom"],
+    }
+    for command, argv in samples.items():
+        assert parser.parse_args(argv).command == command
 
 
 def test_cli_requires_a_command():
@@ -21,47 +30,111 @@ def test_cli_requires_a_command():
         build_parser().parse_args([])
 
 
-def test_figure6_command_prints_the_scaling_table(capsys):
-    assert main(["figure6"]) == 0
+def test_list_scenarios_names_every_registered_scenario(capsys):
+    assert main(["list-scenarios"]) == 0
+    output = capsys.readouterr().out
+    for name in ("figure6", "figure7", "figure8", "table1", "ablation-policy"):
+        assert name in output
+
+
+def test_run_static_scenario_prints_the_scaling_table(capsys):
+    assert main(["run", "figure6"]) == 0
     output = capsys.readouterr().out
     assert "Figure 6" in output
     assert "gadget2" in output and "ft" in output
 
 
-def test_run_command_summary_and_csv(capsys):
-    assert main(["run", "--workload", "Wm", "--policy", "EGS", "--jobs", "6", "--seed", "3"]) == 0
+def test_run_table1_scenario(capsys):
+    assert main(["run", "table1"]) == 0
+    output = capsys.readouterr().out
+    assert "Table I" in output and "Delft" in output
+
+
+def test_custom_command_summary_and_csv(capsys):
+    assert (
+        main(
+            ["custom", "--workload", "Wm", "--policy", "EGS", "--job-count", "6", "--seed", "3"]
+        )
+        == 0
+    )
     summary = capsys.readouterr().out
     assert "EGS/Wm" in summary and "mean exec" in summary
 
-    assert main(
-        ["run", "--workload", "Wm", "--policy", "none", "--jobs", "4", "--seed", "3", "--csv"]
-    ) == 0
+    assert (
+        main(
+            [
+                "custom",
+                "--workload",
+                "Wm",
+                "--policy",
+                "none",
+                "--job-count",
+                "4",
+                "--seed",
+                "3",
+                "--csv",
+            ]
+        )
+        == 0
+    )
     csv = capsys.readouterr().out
     assert csv.splitlines()[0].startswith("name,profile,kind")
     assert len(csv.strip().splitlines()) == 5  # header + 4 jobs
 
 
-def test_figure7_command_with_reduced_jobs(capsys):
-    assert main(["figure7", "--jobs", "8", "--seed", "1"]) == 0
+def test_run_figure7_with_reduced_jobs_and_parallel_workers(capsys):
+    assert main(["run", "figure7", "--job-count", "8", "--seed", "1", "--jobs", "2"]) == 0
     output = capsys.readouterr().out
     assert "Figure 7(a)" in output and "Figure 7(f)" in output
     assert "FPSMA/Wm" in output and "EGS/Wmr" in output
 
 
-def test_ablation_command(capsys):
-    assert main(["ablation", "threshold", "--jobs", "6", "--seed", "1"]) == 0
+def test_sweep_prints_the_merged_summary(capsys):
+    assert main(["sweep", "ablation-threshold", "--job-count", "6", "--seed", "1"]) == 0
     output = capsys.readouterr().out
-    assert "Ablation study: threshold" in output
+    assert "Sweep ablation-threshold" in output
     assert "threshold=0" in output
+
+
+def test_sweep_rejects_static_scenarios():
+    with pytest.raises(SystemExit):
+        main(["sweep", "figure6"])
+
+
+def test_no_cache_leaves_the_cache_directory_empty(tmp_path, capsys):
+    cache_dir = tmp_path / "explicit-cache"
+    assert (
+        main(
+            [
+                "run",
+                "figure7",
+                "--job-count",
+                "4",
+                "--no-cache",
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert not cache_dir.exists()
+
+
+def test_cache_dir_option_populates_the_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "explicit-cache"
+    assert main(["sweep", "figure7", "--job-count", "4", "--cache-dir", str(cache_dir)]) == 0
+    capsys.readouterr()
+    assert len(list(cache_dir.glob("*.json"))) == 4
 
 
 def test_output_file_option(tmp_path, capsys):
     target = tmp_path / "report.txt"
-    assert main(["--output", str(target), "figure6"]) == 0
+    assert main(["--output", str(target), "run", "figure6"]) == 0
     assert capsys.readouterr().out == ""
     assert "Figure 6" in target.read_text(encoding="utf-8")
 
 
-def test_unknown_ablation_study_rejected():
+def test_unknown_scenario_rejected():
     with pytest.raises(SystemExit):
-        main(["ablation", "nonsense"])
+        main(["run", "nonsense"])

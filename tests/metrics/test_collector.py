@@ -157,3 +157,43 @@ def test_csv_exports(finished_run):
     assert util.count("\n") == 11
     activity = activity_csv({"run": metrics})
     assert activity.startswith("configuration,time,cumulative_operations")
+
+
+def test_metrics_json_round_trip(finished_run):
+    """`to_dict` -> json -> `from_dict` preserves every figure-facing quantity."""
+    import json
+
+    system, scheduler = finished_run
+    metrics = ExperimentMetrics.from_run(scheduler, system, label="run")
+    data = json.loads(json.dumps(metrics.to_dict()))
+    restored = ExperimentMetrics.from_dict(data)
+
+    assert restored.label == metrics.label
+    assert restored.unfinished_jobs == metrics.unfinished_jobs
+    assert restored.jobs == metrics.jobs  # JobMetrics is a frozen dataclass
+    assert restored.summary() == metrics.summary()
+    np.testing.assert_array_equal(restored.utilization[0], metrics.utilization[0])
+    np.testing.assert_array_equal(restored.utilization[1], metrics.utilization[1])
+    np.testing.assert_array_equal(
+        restored.cumulative_grow_messages()[1], metrics.cumulative_grow_messages()[1]
+    )
+    # Serialising the restored object again is byte-identical.
+    assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+        metrics.to_dict(), sort_keys=True
+    )
+
+
+def test_job_metrics_dict_round_trip():
+    job = JobMetrics(
+        name="x",
+        profile="ft",
+        kind="malleable",
+        submit_time=10.0,
+        start_time=25.0,
+        finish_time=145.0,
+        average_allocation=4.5,
+        maximum_allocation=8,
+        grow_count=2,
+        shrink_count=1,
+    )
+    assert JobMetrics.from_dict(job.to_dict()) == job

@@ -61,7 +61,29 @@ def test_run_until_time_stops_exactly_there():
 def test_run_until_past_time_rejected():
     env = Environment(initial_time=5.0)
     with pytest.raises(ValueError):
-        env.run(until=5.0)
+        env.run(until=4.0)
+
+
+def test_run_until_current_time_is_a_noop():
+    """``run(until=now)`` is a tolerated no-op: nothing runs, nothing raises.
+
+    Regression test: this used to raise ``ValueError``, which made drivers
+    that compute ``until=min(time_limit, ...)`` blow up exactly when the
+    clock had already reached the limit.
+    """
+    env = Environment(initial_time=5.0)
+    fired = []
+
+    def proc(env):
+        yield env.timeout(1)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    assert env.run(until=5.0) is None
+    assert env.now == 5.0
+    assert fired == []  # no event was processed
+    env.run()
+    assert fired == [6.0]  # the pending timeout still fires on a later run
 
 
 def test_run_until_event_returns_its_value():

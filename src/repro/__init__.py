@@ -8,7 +8,12 @@ and evaluated two job-management approaches (PRA, PWA) combined with two
 malleability-management policies (FPSMA, EGS) on the DAS-3 testbed.
 
 This package reproduces that system end to end on a discrete-event simulated
-DAS-3:
+DAS-3, organised around a **unified pluggable policy API**: every scheduling
+decision — *where* jobs are placed, *how* processors are spread over running
+malleable jobs, and *when* the malleability manager acts — is a policy
+registered in :mod:`repro.policies`, and the KOALA scheduler is an
+event-driven core that consults all three axes through one typed event-hook
+mechanism.
 
 * :mod:`repro.sim` — the discrete-event simulation kernel;
 * :mod:`repro.cluster` — the multicluster substrate (clusters, SGE-like local
@@ -17,15 +22,23 @@ DAS-3:
   reconfiguration-cost models);
 * :mod:`repro.dynaco` — the DYNACO observe/decide/plan/execute control loop
   and the AFPAC executor;
-* :mod:`repro.koala` — the KOALA scheduler (placement policies, placement
-  queue, information service, runners, MRunner);
+* :mod:`repro.policies` — **the policy API**: the ``(kind, name)`` registry,
+  the :func:`~repro.policies.register` decorator, the
+  :class:`~repro.policies.PolicySpec` parser for parameterised references
+  (``"EASY?reserve_depth=2"``), the typed scheduler events and the
+  :class:`~repro.policies.SchedulerHooks` interface — plus the two shipped
+  policies beyond the paper (FCFS+EASY backfilling placement and the
+  ElastiSim-style ``AVERAGE_STEAL`` fair-share malleability policy);
+* :mod:`repro.koala` — the KOALA scheduler: an event-emitting core, the
+  placement policies (WF/CF/CM/FCM), placement queue, information service,
+  runners, MRunner;
 * :mod:`repro.malleability` — the malleability manager, the PRA/PWA
   approaches and the FPSMA/EGS policies (plus equipartition/folding
   baselines);
 * :mod:`repro.workloads` — the paper's workloads and SWF trace support;
 * :mod:`repro.metrics` — CDFs, utilization and activity metrics;
-* :mod:`repro.experiments` — drivers regenerating every figure of the
-  evaluation plus ablation studies.
+* :mod:`repro.experiments` — the scenario registry, the parallel sweep
+  engine with its result cache, and the figure/ablation reports.
 
 Quickstart
 ----------
@@ -34,6 +47,18 @@ Quickstart
 ...                                          malleability_policy="EGS", approach="PRA"))
 >>> result.metrics.job_count
 20
+
+Policies are referenced by registered name and may carry parameters; both
+forms are validated when the configuration is constructed:
+
+>>> ExperimentConfig(malleability_policy="AVERAGE_STEAL?balance='absolute'",
+...                  placement_policy="EASY").placement_policy
+'EASY'
+
+Writing a new policy is one file — subclass an axis base class, decorate it
+with :func:`repro.policies.register`, and every configuration surface
+(configs, scenario sweeps, ``repro-cli``) can use it immediately; see
+``examples/custom_policy.py``.
 """
 
 __version__ = "1.0.0"

@@ -29,7 +29,7 @@ import numpy as np
 from repro.apps.profiles import ApplicationProfile
 from repro.sim.core import Environment
 from repro.sim.events import Event, Interrupt
-from repro.sim.monitor import TimeSeries, TimeWeightedStat
+from repro.sim.monitor import TimeSeries
 
 #: Remaining work below this fraction counts as finished (guards against
 #: floating-point dust after repeated partial progress updates).

@@ -9,9 +9,8 @@ single object the KOALA scheduler needs a reference to.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
-import numpy as np
 
 from repro.cluster.background import BackgroundLoadGenerator, BackgroundLoadSpec
 from repro.cluster.cluster import Cluster

@@ -24,6 +24,7 @@ from repro.experiments.scenarios import (
     ScenarioSpec,
     ScenarioVariant,
     get_scenario,
+    policy_variants,
     register_scenario,
     run_scenario,
     scenario_names,
@@ -52,6 +53,7 @@ __all__ = [
     "figure7_report",
     "figure8_report",
     "get_scenario",
+    "policy_variants",
     "register_scenario",
     "run_configs",
     "run_experiment",

@@ -26,12 +26,29 @@ Sweep a scenario and print the merged summary table only::
 Run one custom configuration outside any scenario::
 
     repro-cli custom --workload Wmr --policy EGS --approach PRA --job-count 120
+
+See every registered policy of every axis, with parameters::
+
+    repro-cli list-policies
+
+Run a parameterised policy (``--policy-arg`` repeats; values are Python
+literals)::
+
+    repro-cli custom --policy AVERAGE_STEAL --policy-arg balance=absolute \\
+        --placement EASY --placement-arg reserve_depth=2
+
+Policies registered in your own module are available to every command after
+``--policy-module``::
+
+    repro-cli --policy-module my_policies list-policies
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.engine import ResultCache, default_cache_dir
@@ -43,6 +60,49 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.setup import ExperimentConfig, run_experiment
 from repro.metrics.reports import metrics_to_csv, summary_table
+from repro.policies.registry import (
+    iter_registered,
+    policy_doc,
+    policy_signature,
+)
+
+
+def _policy_arg(text: str) -> tuple:
+    """Parse one ``key=value`` policy parameter (value as a Python literal)."""
+    key, separator, value = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    from repro.policies.registry import parse_literal
+
+    return key.strip(), parse_literal(value.strip())
+
+
+def _import_policy_modules(modules: Sequence[str]) -> None:
+    """Import user modules so their ``@register`` decorators run.
+
+    Accepts dotted module names and plain ``.py`` file paths, so
+    ``repro-cli --policy-module my_policies.py list-policies`` works without
+    packaging anything.  The resolved references are also exported via
+    :data:`~repro.policies.registry.POLICY_MODULES_ENV` so the worker
+    processes of a parallel sweep (which re-import ``repro`` from scratch
+    under spawn/forkserver start methods) register the same policies.
+    """
+    from repro.policies.registry import POLICY_MODULES_ENV, load_policy_modules
+
+    resolved = [
+        str(Path(name).resolve()) if Path(name).suffix == ".py" else name
+        for name in modules
+    ]
+    load_policy_modules(resolved)
+    merged = [
+        part
+        for part in os.environ.get(POLICY_MODULES_ENV, "").split(os.pathsep)
+        if part
+    ]
+    for name in resolved:
+        if name not in merged:
+            merged.append(name)
+    os.environ[POLICY_MODULES_ENV] = os.pathsep.join(merged)
 
 
 def _positive_int(text: str) -> int:
@@ -103,10 +163,23 @@ def build_parser() -> argparse.ArgumentParser:
         "in Multicluster Systems' (CLUSTER 2007).",
     )
     parser.add_argument("--output", help="write the report to this file instead of stdout")
+    parser.add_argument(
+        "--policy-module",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import this module (dotted name or .py path) first, so policies "
+        "it @registers become available; may be repeated",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser(
         "list-scenarios", help="list every registered scenario with its run count"
+    )
+
+    subparsers.add_parser(
+        "list-policies",
+        help="list every registered policy (all kinds) with its parameters",
     )
 
     run = subparsers.add_parser(
@@ -132,7 +205,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="FPSMA", help="FPSMA, EGS, EQUIPARTITION, FOLDING or none"
     )
     custom.add_argument("--approach", default="PRA", help="PRA or PWA")
-    custom.add_argument("--placement", default="WF", help="WF, CF, CM or FCM")
+    custom.add_argument(
+        "--placement", default="WF", help="WF, CF, CM, FCM or EASY (see list-policies)"
+    )
+    custom.add_argument(
+        "--policy-arg",
+        action="append",
+        type=_policy_arg,
+        default=[],
+        metavar="KEY=VALUE",
+        help="parameter for --policy (repeatable; values are Python literals)",
+    )
+    custom.add_argument(
+        "--placement-arg",
+        action="append",
+        type=_policy_arg,
+        default=[],
+        metavar="KEY=VALUE",
+        help="parameter for --placement (repeatable)",
+    )
     custom.add_argument("--job-count", type=_positive_int, default=300)
     custom.add_argument("--seed", type=_non_negative_int, default=0)
     custom.add_argument("--threshold", type=_non_negative_int, default=0)
@@ -152,6 +243,29 @@ def _overrides_from(args: argparse.Namespace) -> Optional[dict]:
     return None
 
 
+def _list_policies_report() -> str:
+    lines = ["Registered policies:", ""]
+    current_kind = None
+    for kind, name, cls in iter_registered():
+        if kind != current_kind:
+            if current_kind is not None:
+                lines.append("")
+            lines.append(f"{kind}:")
+            current_kind = kind
+        signature = policy_signature(cls) or "(no parameters)"
+        doc = policy_doc(cls)
+        lines.append(f"  {name:<16} {signature}")
+        if doc:
+            lines.append(f"  {'':<16} {doc}")
+    lines.append("")
+    lines.append(
+        "Use a policy by name ('EGS'), with parameters ('EASY?reserve_depth=2'\n"
+        "or --policy-arg reserve_depth=2), in configs, scenarios and this CLI.\n"
+        "Register your own with @repro.policies.register and --policy-module."
+    )
+    return "\n".join(lines)
+
+
 def _list_scenarios_report() -> str:
     lines = ["Registered scenarios:", ""]
     for spec in iter_scenarios():
@@ -167,8 +281,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.policy_module:
+        try:
+            _import_policy_modules(args.policy_module)
+        except Exception as error:  # registration errors included, not just ImportError
+            parser.error(f"cannot import policy module: {error}")
+            return 2  # pragma: no cover - parser.error raises
+
     if args.command == "list-scenarios":
         report = _list_scenarios_report()
+    elif args.command == "list-policies":
+        report = _list_policies_report()
     elif args.command in ("run", "sweep"):
         try:
             spec = get_scenario(args.scenario)
@@ -203,16 +326,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
     elif args.command == "custom":
         policy = None if args.policy.lower() in ("none", "off") else args.policy
-        config = ExperimentConfig(
-            name="cli-custom",
-            workload=args.workload,
-            job_count=args.job_count,
-            malleability_policy=policy,
-            approach=args.approach,
-            placement_policy=args.placement,
-            grow_threshold=args.threshold,
-            seed=args.seed,
-        )
+        if policy is None and args.policy_arg:
+            parser.error("--policy-arg requires a --policy other than 'none'")
+            return 2  # pragma: no cover - parser.error raises
+        if policy is not None and args.policy_arg:
+            policy = {"name": policy, "params": dict(args.policy_arg)}
+        placement = args.placement
+        if args.placement_arg:
+            placement = {"name": placement, "params": dict(args.placement_arg)}
+        try:
+            config = ExperimentConfig(
+                name="cli-custom",
+                workload=args.workload,
+                job_count=args.job_count,
+                malleability_policy=policy,
+                approach=args.approach,
+                placement_policy=placement,
+                grow_threshold=args.threshold,
+                seed=args.seed,
+            )
+        except (TypeError, ValueError) as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises
         result = run_experiment(config)
         if args.csv:
             report = metrics_to_csv(result.metrics)

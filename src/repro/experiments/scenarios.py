@@ -157,7 +157,34 @@ class ScenarioSpec:
 
 def _slug(label: str) -> str:
     """Config-name-safe version of a variant label."""
-    return label.replace("/", "-").replace("'", "p").replace("=", "-").replace(" ", "")
+    for old, new in (
+        ("/", "-"), ("'", "p"), ("=", "-"), (" ", ""), ("?", "-"), ("&", "-"),
+        ('"', "p"),
+    ):
+        label = label.replace(old, new)
+    return label
+
+
+def policy_variants(
+    field_name: str, refs: Sequence[Optional[str]], *, scenario: str
+) -> Tuple[ScenarioVariant, ...]:
+    """Variants sweeping one policy *field* over policy references.
+
+    Each reference may be a bare registered name (``"EGS"``) or a
+    parameterised form (``"EASY?reserve_depth=2"``), so a single scenario can
+    sweep over policy *parameters*, not just policy names.  ``None`` means
+    "disabled" (only meaningful for ``malleability_policy``).
+    """
+    return tuple(
+        ScenarioVariant(
+            str(ref) if ref is not None else "none",
+            {
+                field_name: ref,
+                "name": f"{scenario}-{_slug(str(ref) if ref is not None else 'none')}",
+            },
+        )
+        for ref in refs
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -476,6 +503,55 @@ def placement_ablation_scenario(
     )
 
 
+def backfilling_scenario(
+    *,
+    workload: str = "Wm",
+    placements: Sequence[str] = ("WF", "EASY", "EASY?reserve_depth=2"),
+) -> ScenarioSpec:
+    """The new FCFS+EASY-backfilling placement policy against Worst-Fit.
+
+    Sweeps the ``placement_policy`` axis over Worst-Fit and the EASY policy
+    at two reservation depths — a policy-*parameter* sweep expressed directly
+    in the scenario registry.
+    """
+    return ScenarioSpec(
+        name="backfilling",
+        title="New policy - FCFS+EASY backfilling placement vs Worst-Fit",
+        base={"workload": workload, "malleability_policy": "EGS", "approach": "PRA"},
+        variants=policy_variants(
+            "placement_policy", placements, scenario="backfilling"
+        ),
+        default_job_count=60,
+    )
+
+
+def average_steal_scenario(
+    *,
+    workload: str = "Wm",
+    policies: Sequence[str] = (
+        "FPSMA",
+        "EGS",
+        "AVERAGE_STEAL",
+        "AVERAGE_STEAL?balance='absolute'",
+    ),
+) -> ScenarioSpec:
+    """The new average-steal fair-share policy against the paper's policies.
+
+    Includes both ``balance`` modes of the new policy, demonstrating that
+    scenario sweeps cover parameterised policies end-to-end (construction,
+    labels and result-cache keys all flow through the canonical spec string).
+    """
+    return ScenarioSpec(
+        name="average-steal",
+        title="New policy - ElastiSim-style average-steal malleability policy",
+        base={"workload": workload, "approach": "PRA"},
+        variants=policy_variants(
+            "malleability_policy", policies, scenario="average-steal"
+        ),
+        default_job_count=60,
+    )
+
+
 def background_load_ablation_scenario(
     *, workload: str = "Wm", interarrivals: Sequence[float] = (float("inf"), 300.0, 60.0)
 ) -> ScenarioSpec:
@@ -524,5 +600,7 @@ for _factory in (
     reconfiguration_cost_ablation_scenario,
     placement_ablation_scenario,
     background_load_ablation_scenario,
+    backfilling_scenario,
+    average_steal_scenario,
 ):
     register_scenario(_factory())

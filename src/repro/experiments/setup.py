@@ -19,6 +19,7 @@ from repro.cluster.das3 import das3_multicluster
 from repro.cluster.multicluster import Multicluster
 from repro.koala.scheduler import KoalaScheduler, SchedulerConfig
 from repro.metrics.collector import ExperimentMetrics
+from repro.policies.registry import spec_string
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
 from repro.workloads.registry import build_named_workload
@@ -121,6 +122,14 @@ class ExperimentConfig:
     The defaults reproduce the paper's setup: the DAS-3 of Table I, Worst-Fit
     placement, FPSMA malleability management under PRA, workload Wm with 300
     jobs, no staging, and only incidental background load.
+
+    The three policy fields accept anything the unified policy registry
+    parses — a registered name (``"EGS"``), a parameterised reference
+    (``"EASY?reserve_depth=2"`` or ``{"name": "EASY", "params": {...}}``) or
+    a :class:`~repro.policies.registry.PolicySpec` — and are validated and
+    canonicalised to their string form at construction time, so a typo'd
+    policy fails immediately with the registered names listed, and the cache
+    key of a parameterised run is stable.
     """
 
     name: str = "experiment"
@@ -142,6 +151,21 @@ class ExperimentConfig:
     background_backfilling: bool = True
     reconfiguration_cost: Optional[float] = None
     time_limit: float = DEFAULT_TIME_LIMIT
+
+    def __post_init__(self) -> None:
+        # Validate and canonicalise the policy references now, not when the
+        # scheduler is eventually built (the dataclass is frozen, hence the
+        # object.__setattr__ dance).
+        object.__setattr__(
+            self, "placement_policy", spec_string("placement", self.placement_policy)
+        )
+        if self.malleability_policy is not None:
+            object.__setattr__(
+                self,
+                "malleability_policy",
+                spec_string("malleability", self.malleability_policy),
+            )
+        object.__setattr__(self, "approach", spec_string("approach", self.approach))
 
     @property
     def label(self) -> str:

@@ -20,7 +20,14 @@ the paper and its extension for malleability described in Section V:
 * :mod:`repro.koala.mrunner` — the Malleable Runner (MRunner) embedding a
   DYNACO instance per application;
 * :mod:`repro.koala.scheduler` — the central scheduler (co-allocator +
-  processor claimer) tying everything together.
+  processor claimer) tying everything together: an event-driven core that
+  emits the typed events of :mod:`repro.policies.hooks` to which every
+  policy axis is subscribed uniformly.
+
+Placement policies are registered in the unified policy registry
+(:mod:`repro.policies`); configurations reference them by name, optionally
+parameterised (``"EASY?reserve_depth=2"``).  The legacy
+``make_placement_policy`` factory is a deprecated shim over that registry.
 """
 
 from repro.koala.job import (

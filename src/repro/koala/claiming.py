@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Dict, Optional
+from typing import Dict
 
 
 _claim_ids = count(1)

@@ -12,7 +12,7 @@ triggered from the polling loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Set
 
 from repro.cluster.multicluster import Multicluster
 from repro.cluster.network import Link

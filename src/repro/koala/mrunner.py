@@ -211,7 +211,6 @@ class MalleableRunner(JobRunner):
             # How many of the offered processors would the application use?
             # (A pure preview: the real adaptation event is only published
             # once all new processors are actually held.)
-            current = application.allocation
             usable = self.preview_grow(offered)
             if usable == 0 or application.is_finished:
                 self._settle(claim, ledger)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.multicluster import Multicluster
 from repro.koala.job import Job, JobComponent
+from repro.policies.registry import register
 
 
 @dataclass
@@ -38,12 +39,18 @@ class PlacementDecision:
     number of processors to claim for it there.  ``success`` is ``False``
     when the policy could not find room for every component, in which case
     ``reason`` explains why (used in failure diagnostics and tests).
+
+    ``deferred`` marks a *deliberate hold* rather than a capacity failure:
+    the job fits but the policy chose not to start it yet (e.g. EASY
+    backfilling protecting a head reservation).  Deferred outcomes leave the
+    job queued without counting against its placement-retry budget.
     """
 
     job: Job
     placements: Dict[int, Tuple[str, int]] = field(default_factory=dict)
     success: bool = True
     reason: str = ""
+    deferred: bool = False
 
     @property
     def clusters_used(self) -> List[str]:
@@ -62,6 +69,11 @@ class PlacementDecision:
     def failure(cls, job: Job, reason: str) -> "PlacementDecision":
         """A failed placement attempt."""
         return cls(job=job, placements={}, success=False, reason=reason)
+
+    @classmethod
+    def deferral(cls, job: Job, reason: str) -> "PlacementDecision":
+        """A deliberate hold: the policy keeps *job* queued, penalty-free."""
+        return cls(job=job, placements={}, success=False, reason=reason, deferred=True)
 
 
 class PlacementPolicy(ABC):
@@ -89,6 +101,7 @@ class PlacementPolicy(ABC):
         return indexed
 
 
+@register("placement", "WF", aliases=("WORST-FIT",))
 class WorstFit(PlacementPolicy):
     """Place each component in the cluster with the most idle processors.
 
@@ -125,6 +138,7 @@ class WorstFit(PlacementPolicy):
         return decision
 
 
+@register("placement", "CF", aliases=("CLOSE-TO-FILES",))
 class CloseToFiles(PlacementPolicy):
     """Favour clusters holding the component's input files.
 
@@ -189,6 +203,7 @@ class CloseToFiles(PlacementPolicy):
         )
 
 
+@register("placement", "CM", aliases=("CLUSTER-MINIMIZATION",))
 class ClusterMinimization(PlacementPolicy):
     """Minimise the number of clusters a co-allocated job is spread over."""
 
@@ -232,6 +247,7 @@ class ClusterMinimization(PlacementPolicy):
         return decision
 
 
+@register("placement", "FCM", aliases=("FLEXIBLE-CLUSTER-MINIMIZATION",))
 class FlexibleClusterMinimization(PlacementPolicy):
     """Cluster minimisation that may re-split the job to fit idle processors.
 
@@ -277,21 +293,26 @@ class FlexibleClusterMinimization(PlacementPolicy):
         return decision
 
 
-#: Registry of policy names to constructors, used by experiment configuration.
-_POLICIES = {
-    "WF": WorstFit,
-    "CF": CloseToFiles,
-    "CM": ClusterMinimization,
-    "FCM": FlexibleClusterMinimization,
-}
-
-
 def make_placement_policy(name: str, **kwargs) -> PlacementPolicy:
-    """Instantiate a placement policy by its symbolic name (``"WF"``, ...)."""
-    try:
-        factory = _POLICIES[name.upper()]
-    except KeyError:
-        raise ValueError(
-            f"unknown placement policy {name!r}; known: {sorted(_POLICIES)}"
-        ) from None
-    return factory(**kwargs)
+    """Instantiate a placement policy by its symbolic name (``"WF"``, ...).
+
+    .. deprecated::
+        Use the unified registry instead:
+        ``repro.policies.PolicySpec.parse("placement", name).build()`` or
+        ``repro.policies.build_policy("placement", "CF?file_size_mb=250")``.
+        This shim delegates to the registry and will be removed.
+    """
+    import warnings
+
+    from repro.policies.registry import PolicySpec
+
+    warnings.warn(
+        "make_placement_policy() is deprecated; use "
+        "repro.policies.build_policy('placement', ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = PolicySpec(
+        "placement", name.upper(), tuple(sorted(kwargs.items()))
+    )
+    return PolicySpec.parse("placement", spec).build()

@@ -3,16 +3,27 @@
 The scheduler ties everything together: it receives job submissions through
 the runners framework, places jobs on clusters with one of the placement
 policies, keeps unplaceable jobs in the placement queue with a retry
-threshold, periodically polls the KOALA information service (so background
-load is accounted for), and hands job-management triggers to the malleability
-manager configured with one of the PRA/PWA approaches and one of the
-FPSMA/EGS policies.
+threshold, and periodically polls the KOALA information service (so
+background load is accounted for).
+
+Since the policy-API redesign the scheduler is an *event-driven core*: it
+emits the typed events of :mod:`repro.policies.hooks` (``job_submitted``,
+``job_placed``, ``job_started``, ``job_ended``, ``processors_freed``,
+``kis_updated``) through a :class:`~repro.policies.hooks.HookDispatcher`, and
+all three policy axes — the placement policy, the malleability policy and the
+job-management approach — are subscribed to it uniformly.  The PRA/PWA
+approaches map the trigger events onto their job-management round; policies
+that need scheduler state (such as the EASY-backfilling placement policy)
+capture it via ``on_attach`` and their own event hooks.  Policies are
+resolved through the unified registry (:mod:`repro.policies.registry`), so
+configurations may name them (``"WF"``), parameterise them
+(``"EASY?reserve_depth=2"``) or inject constructed instances.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.apps.runtime import ExecutionRecord
 from repro.cluster.multicluster import Multicluster
@@ -20,17 +31,42 @@ from repro.koala.claiming import ClaimLedger
 from repro.koala.job import Job, JobKind, JobState
 from repro.koala.kis import KisSnapshot, KoalaInformationService
 from repro.koala.mrunner import MalleableRunner
-from repro.koala.placement import PlacementPolicy, WorstFit, make_placement_policy
+from repro.koala.placement import PlacementPolicy
 from repro.koala.queue import PlacementQueue
 from repro.koala.runners import JobRunner, RunnersFramework
-from repro.malleability.manager import (
-    JobManagementApproach,
-    MalleabilityManager,
-    make_approach,
+from repro.policies.hooks import (
+    HookDispatcher,
+    JobEnded,
+    JobPlaced,
+    JobStarted,
+    JobSubmitted,
+    KisUpdated,
+    ProcessorsFreed,
+    TriggerOnSchedulingEvents,
 )
-from repro.malleability.policies import MalleabilityPolicy, make_malleability_policy
+from repro.policies.registry import PolicySpec, build_policy, spec_string
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
+
+#: A policy reference as accepted by the configuration: a registered name
+#: (``"WF"``), a parameterised form (``"EASY?reserve_depth=2"`` or a
+#: mapping), a :class:`~repro.policies.registry.PolicySpec`, or an
+#: already-constructed policy instance.
+PolicyRef = Union[str, dict, PolicySpec, object]
+
+
+def _normalize_policy_field(kind: str, value) -> object:
+    """Validate and canonicalise one policy field at config construction.
+
+    Strings, mappings and :class:`PolicySpec`\\ s are parsed against the
+    registry — so a typo'd name fails *here*, with the registered names
+    listed, not deep inside ``KoalaScheduler.__init__`` — and normalised to
+    their canonical string form.  ``None`` and constructed instances pass
+    through unchanged.
+    """
+    if value is None or not isinstance(value, (str, dict, PolicySpec)):
+        return value
+    return spec_string(kind, value)
 
 
 @dataclass
@@ -40,14 +76,15 @@ class SchedulerConfig:
     Attributes
     ----------
     placement_policy:
-        Name of the placement policy (``"WF"``, ``"CF"``, ``"CM"``, ``"FCM"``).
-        The paper's experiments all use Worst-Fit.
+        Placement policy reference (``"WF"``, ``"CF"``, ``"CM"``, ``"FCM"``,
+        ``"EASY"``, a parameterised form such as ``"EASY?reserve_depth=2"``,
+        or an instance).  The paper's experiments all use Worst-Fit.
     malleability_policy:
-        Name of the malleability management policy (``"FPSMA"``, ``"EGS"``,
-        ``"EQUIPARTITION"``, ``"FOLDING"``) or ``None`` to disable
-        malleability management entirely.
+        Malleability management policy reference (``"FPSMA"``, ``"EGS"``,
+        ``"EQUIPARTITION"``, ``"FOLDING"``, ``"AVERAGE_STEAL"``, ...) or
+        ``None`` to disable malleability management entirely.
     approach:
-        Job-management approach (``"PRA"`` or ``"PWA"``).
+        Job-management approach reference (``"PRA"`` or ``"PWA"``).
     grow_threshold:
         Idle processors per cluster that grow operations must leave free for
         local users.
@@ -64,17 +101,41 @@ class SchedulerConfig:
         which the paper's experiments effectively use since all 300 jobs run).
     adaptation_point_interval:
         Spacing of AFPAC adaptation points inside applications.
+
+    Policy references are validated against the unified registry when the
+    configuration is constructed; unknown names raise immediately with the
+    registered names listed.
     """
 
-    placement_policy: str = "WF"
-    malleability_policy: Optional[str] = "FPSMA"
-    approach: str = "PRA"
+    placement_policy: PolicyRef = "WF"
+    malleability_policy: Optional[PolicyRef] = "FPSMA"
+    approach: PolicyRef = "PRA"
     grow_threshold: int = 0
     grow_offer_mode: str = "released"
     poll_interval: float = 15.0
     max_placement_tries: Optional[int] = None
     adaptation_point_interval: float = 2.0
     extra: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.placement_policy = _normalize_policy_field(
+            "placement", self.placement_policy
+        )
+        self.malleability_policy = _normalize_policy_field(
+            "malleability", self.malleability_policy
+        )
+        self.approach = _normalize_policy_field("approach", self.approach)
+
+
+class _QueueScanHooks(TriggerOnSchedulingEvents):
+    """Default job management when malleability is disabled: scan the queue.
+
+    Subscribed instead of a :class:`JobManagementApproach` when no
+    malleability policy is configured; the shared
+    :class:`~repro.policies.hooks.TriggerOnSchedulingEvents` wiring keeps
+    the trigger conditions identical in both modes (``trigger()`` falls back
+    to a plain queue scan when no approach is installed).
+    """
 
 
 class KoalaScheduler:
@@ -89,6 +150,14 @@ class KoalaScheduler:
         Worst-Fit placement, FPSMA policy, PRA approach).
     streams:
         Named random streams for application-side variability.
+
+    Attributes
+    ----------
+    hooks:
+        The :class:`~repro.policies.hooks.HookDispatcher` through which the
+        scheduler emits its typed events.  The placement policy, the
+        malleability policy and the job-management approach are subscribed in
+        that order; additional observers may subscribe freely.
     """
 
     def __init__(
@@ -104,10 +173,9 @@ class KoalaScheduler:
         self.config = config or SchedulerConfig()
         self.streams = streams or RandomStreams(seed=0)
 
-        self.placement_policy: PlacementPolicy = (
-            make_placement_policy(self.config.placement_policy)
-            if isinstance(self.config.placement_policy, str)
-            else self.config.placement_policy
+        self.hooks = HookDispatcher(self)
+        self.placement_policy: PlacementPolicy = build_policy(
+            "placement", self.config.placement_policy
         )
         self.kis = KoalaInformationService(
             env, multicluster, poll_interval=self.config.poll_interval
@@ -133,11 +201,17 @@ class KoalaScheduler:
         #: Jobs abandoned after exhausting their placement retries.
         self.failed: List[Job] = []
 
-        # Malleability management (optional).
+        # Malleability management (optional).  Imported here to keep the
+        # scheduler importable without the malleability layer.
+        from repro.malleability.manager import (
+            JobManagementApproach,
+            MalleabilityManager,
+        )
+
         self.manager: Optional[MalleabilityManager] = None
         self.approach: Optional[JobManagementApproach] = None
         if self.config.malleability_policy is not None:
-            policy: MalleabilityPolicy = make_malleability_policy(self.config.malleability_policy)
+            policy = build_policy("malleability", self.config.malleability_policy)
             self.manager = MalleabilityManager(
                 env,
                 self,
@@ -145,10 +219,26 @@ class KoalaScheduler:
                 threshold=self.config.grow_threshold,
                 offer_mode=self.config.grow_offer_mode,
             )
-            self.approach = make_approach(self.config.approach)
+            self.approach = build_policy("approach", self.config.approach)
+
+        # Wire the three policy axes through the one event mechanism, in a
+        # fixed order: placement sees events first, then the malleability
+        # policy, then the approach whose trigger round consumes them.
+        self.hooks.subscribe(self.placement_policy)
+        if self.manager is not None:
+            self.hooks.subscribe(self.manager.policy)
+            self.hooks.subscribe(self.approach)
+        else:
+            self.hooks.subscribe(_QueueScanHooks())
 
         self.kis.on_poll(self._on_kis_poll)
         self._in_trigger = False
+
+    # -- event emission ---------------------------------------------------------
+
+    def emit(self, event) -> None:
+        """Deliver *event* to every subscribed hook (see :attr:`hooks`)."""
+        self.hooks.emit(event)
 
     # -- submission -------------------------------------------------------------
 
@@ -161,8 +251,8 @@ class KoalaScheduler:
         runner = self.runners.create_runner(job)
         self._runners[job.job_id] = runner
         self.queue.enqueue(job, self.env.now)
-        # A submission is a job-management trigger: try to place immediately.
-        self.trigger()
+        # A submission is a job-management trigger (the approach reacts).
+        self.emit(JobSubmitted(self.env.now, job))
         return runner
 
     # -- views used by the malleability manager ------------------------------------
@@ -223,7 +313,7 @@ class KoalaScheduler:
             self._in_trigger = False
 
     def _on_kis_poll(self, snapshot: KisSnapshot) -> None:
-        self.trigger()
+        self.emit(KisUpdated(self.env.now, snapshot))
 
     # -- placement -----------------------------------------------------------------
 
@@ -246,6 +336,10 @@ class KoalaScheduler:
         idle_view = self.effective_idle_processors()
         decision = self.placement_policy.place(job, idle_view, self.multicluster)
         if not decision.success:
+            if decision.deferred:
+                # A deliberate policy hold (e.g. a protected backfilling
+                # reservation): the job stays queued, penalty-free.
+                return False
             abandoned = self.queue.record_failure(job, decision.reason)
             if abandoned:
                 self._abandon(job, decision.reason)
@@ -269,6 +363,7 @@ class KoalaScheduler:
         runner = self._runners[job.job_id]
         outcome = runner.start(cluster_name, processors, claim=claim, ledger=self.ledger)
         self.env.process(self._placement_outcome(job, outcome))
+        self.emit(JobPlaced(self.env.now, job, cluster_name, processors))
         return True
 
     def _placement_outcome(self, job: Job, outcome):
@@ -295,24 +390,26 @@ class KoalaScheduler:
     def job_started(self, job: Job) -> None:
         """A runner reports that *job*'s application is now executing."""
         self._running[job.job_id] = job
+        self.emit(JobStarted(self.env.now, job))
 
     def job_finished(self, job: Job, record: ExecutionRecord) -> None:
         """A runner reports that *job* finished; its processors are free again."""
         self._running.pop(job.job_id, None)
         self.finished.append(job)
         self.records[job.job_id] = record
-        # Processors became available: this is a job-management trigger.
-        self.trigger()
+        # Processors became available: a job-management trigger (via hooks).
+        self.emit(JobEnded(self.env.now, job, record=record))
 
     def job_failed(self, job: Job, reason: str) -> None:
         """A runner reports that it definitively gave up on *job*."""
         self._running.pop(job.job_id, None)
         if job not in self.failed:
             self._abandon(job, reason)
+        self.emit(JobEnded(self.env.now, job, failed=True, reason=reason))
 
     def processors_released(self, cluster_name: str) -> None:
         """A runner released processors on *cluster_name* (shrink or voluntary)."""
-        self.trigger()
+        self.emit(ProcessorsFreed(self.env.now, cluster_name))
 
     # -- bookkeeping -------------------------------------------------------------------
 

@@ -28,6 +28,14 @@ makes them unit-testable in isolation; the
 :class:`~repro.malleability.manager.MalleabilityManager` executes the plans
 through the runners and records every message for the activity metrics of
 Figures 7(f) and 8(f).
+
+Both axes are registered in the unified policy registry
+(:mod:`repro.policies`) and the approaches are
+:class:`~repro.policies.hooks.SchedulerHooks` subscribers of the scheduler's
+typed events.  An additional fair-share policy beyond the paper,
+``AVERAGE_STEAL``, lives in :mod:`repro.policies.average_steal`; the legacy
+``make_malleability_policy``/``make_approach`` factories are deprecated
+shims over the registry.
 """
 
 from repro.malleability.policies import (
@@ -39,6 +47,7 @@ from repro.malleability.policies import (
     GrowDirective,
     MalleabilityPolicy,
     ShrinkDirective,
+    eligible_runners,
     make_malleability_policy,
 )
 from repro.malleability.manager import (
@@ -62,6 +71,7 @@ __all__ = [
     "PrecedenceToRunningApplications",
     "PrecedenceToWaitingApplications",
     "ShrinkDirective",
+    "eligible_runners",
     "make_approach",
     "make_malleability_policy",
 ]

@@ -26,11 +26,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.malleability.policies import (
-    GrowDirective,
-    MalleabilityPolicy,
-    ShrinkDirective,
-)
+from repro.malleability.policies import GrowDirective, MalleabilityPolicy
+from repro.policies.hooks import TriggerOnSchedulingEvents
+from repro.policies.registry import register
 from repro.sim.core import Environment
 from repro.sim.events import Event
 from repro.sim.monitor import Counter
@@ -277,8 +275,18 @@ class MalleabilityManager:
         )
 
 
-class JobManagementApproach(ABC):
-    """Decides when the malleability manager acts relative to placement."""
+class JobManagementApproach(TriggerOnSchedulingEvents, ABC):
+    """Decides when the malleability manager acts relative to placement.
+
+    Approaches are :class:`~repro.policies.hooks.SchedulerHooks` subscribers:
+    the scheduler emits typed events, and the inherited
+    :class:`~repro.policies.hooks.TriggerOnSchedulingEvents` wiring maps the
+    paper's job-management trigger points — a submission, a completion, a
+    processor release and an information-service poll — onto one
+    re-entrancy-collapsed :meth:`on_trigger` round.  Subclasses usually only
+    override :meth:`on_trigger`; overriding individual event hooks instead
+    allows approaches with entirely different trigger conditions.
+    """
 
     #: Symbolic name ("PRA" or "PWA").
     name: str = "abstract"
@@ -288,6 +296,7 @@ class JobManagementApproach(ABC):
         """Invoked by the scheduler at every job-management trigger point."""
 
 
+@register("approach", "PRA", aliases=("PRECEDENCE-TO-RUNNING",))
 class PrecedenceToRunningApplications(JobManagementApproach):
     """PRA: grow running malleable jobs first; never shrink.
 
@@ -307,6 +316,7 @@ class PrecedenceToRunningApplications(JobManagementApproach):
         scheduler.scan_queue()
 
 
+@register("approach", "PWA", aliases=("PRECEDENCE-TO-WAITING",))
 class PrecedenceToWaitingApplications(JobManagementApproach):
     """PWA: shrink running jobs to make room for waiting ones.
 
@@ -333,17 +343,22 @@ class PrecedenceToWaitingApplications(JobManagementApproach):
         manager.grow_all_clusters()
 
 
-_APPROACHES = {
-    "PRA": PrecedenceToRunningApplications,
-    "PWA": PrecedenceToWaitingApplications,
-}
-
-
 def make_approach(name: str) -> JobManagementApproach:
-    """Instantiate a job-management approach by symbolic name."""
-    try:
-        return _APPROACHES[name.upper()]()
-    except KeyError:
-        raise ValueError(
-            f"unknown job-management approach {name!r}; known: {sorted(_APPROACHES)}"
-        ) from None
+    """Instantiate a job-management approach by symbolic name.
+
+    .. deprecated::
+        Use the unified registry instead:
+        ``repro.policies.build_policy("approach", name)``.  This shim
+        delegates to the registry and will be removed.
+    """
+    import warnings
+
+    from repro.policies.registry import PolicySpec
+
+    warnings.warn(
+        "make_approach() is deprecated; use "
+        "repro.policies.build_policy('approach', ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return PolicySpec.parse("approach", name.upper()).build()

@@ -18,6 +18,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Protocol, Sequence, runtime_checkable
 
+from repro.policies.registry import register
+
 
 @runtime_checkable
 class MalleableJobView(Protocol):
@@ -86,9 +88,17 @@ class ShrinkDirective:
             raise ValueError("expected must be >= 0")
 
 
-def _eligible(runners: Sequence[MalleableJobView]) -> List[MalleableJobView]:
-    """Runners that can take part in an operation (not mid-reconfiguration)."""
+def eligible_runners(runners: Sequence[MalleableJobView]) -> List[MalleableJobView]:
+    """Runners that can take part in an operation (not mid-reconfiguration).
+
+    Public helper for policies (including external single-file ones): every
+    planner should filter its inputs through this before ranking them.
+    """
     return [runner for runner in runners if not runner.reconfiguring]
+
+
+#: Backward-compatible alias; prefer :func:`eligible_runners`.
+_eligible = eligible_runners
 
 
 def _by_start_time(
@@ -123,6 +133,7 @@ class MalleabilityPolicy(ABC):
         return f"{type(self).__name__}()"
 
 
+@register("malleability", "FPSMA")
 class FPSMA(MalleabilityPolicy):
     """Favour Previously Started Malleable Applications.
 
@@ -171,6 +182,7 @@ class FPSMA(MalleabilityPolicy):
         return directives
 
 
+@register("malleability", "EGS", aliases=("EQUI-GROW-SHRINK",))
 class EquiGrowShrink(MalleabilityPolicy):
     """Equi-Grow & Shrink (EGS).
 
@@ -232,6 +244,7 @@ class EquiGrowShrink(MalleabilityPolicy):
 EGS = EquiGrowShrink
 
 
+@register("malleability", "EQUIPARTITION")
 class Equipartition(MalleabilityPolicy):
     """Classic equipartition baseline (as used by AMPI).
 
@@ -314,6 +327,7 @@ class Equipartition(MalleabilityPolicy):
         return directives
 
 
+@register("malleability", "FOLDING")
 class Folding(MalleabilityPolicy):
     """Folding/unfolding baseline (Utrera et al., McCann & Zahorjan).
 
@@ -370,19 +384,24 @@ class Folding(MalleabilityPolicy):
         return directives
 
 
-_POLICIES = {
-    "FPSMA": FPSMA,
-    "EGS": EquiGrowShrink,
-    "EQUIPARTITION": Equipartition,
-    "FOLDING": Folding,
-}
-
-
 def make_malleability_policy(name: str) -> MalleabilityPolicy:
-    """Instantiate a malleability policy by symbolic name."""
-    try:
-        return _POLICIES[name.upper()]()
-    except KeyError:
-        raise ValueError(
-            f"unknown malleability policy {name!r}; known: {sorted(_POLICIES)}"
-        ) from None
+    """Instantiate a malleability policy by symbolic name.
+
+    .. deprecated::
+        Use the unified registry instead:
+        ``repro.policies.build_policy("malleability", name)`` — which also
+        understands parameterised references like
+        ``"AVERAGE_STEAL?balance=absolute"``.  This shim delegates to the
+        registry and will be removed.
+    """
+    import warnings
+
+    from repro.policies.registry import PolicySpec
+
+    warnings.warn(
+        "make_malleability_policy() is deprecated; use "
+        "repro.policies.build_policy('malleability', ...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return PolicySpec.parse("malleability", name.upper()).build()

@@ -1,0 +1,79 @@
+"""The unified pluggable policy API.
+
+This package is the single entry point for every pluggable scheduling
+decision in the system:
+
+* :mod:`repro.policies.registry` — the ``(kind, name)`` registry, the
+  :func:`register` decorator and the :class:`PolicySpec` value that parses
+  parameterised policy references (``"EGS?favour_interval=30"``) from
+  strings, mappings and CLI flags;
+* :mod:`repro.policies.hooks` — the typed scheduler events
+  (:class:`JobSubmitted`, :class:`JobPlaced`, :class:`JobStarted`,
+  :class:`JobEnded`, :class:`ProcessorsFreed`, :class:`KisUpdated`), the
+  :class:`SchedulerHooks` interface policies subscribe with and the
+  :class:`HookDispatcher` the scheduler emits through;
+* :mod:`repro.policies.backfilling` — the FCFS + EASY-backfilling placement
+  policy (``"EASY"``), the first hook-driven policy;
+* :mod:`repro.policies.average_steal` — the ElastiSim-style average-steal
+  fair-share malleability policy (``"AVERAGE_STEAL"``).
+
+Writing a new policy is one file: subclass the axis base class
+(:class:`~repro.koala.placement.PlacementPolicy`,
+:class:`~repro.malleability.policies.MalleabilityPolicy` or
+:class:`~repro.malleability.manager.JobManagementApproach`), decorate it with
+:func:`register`, and every configuration surface — ``ExperimentConfig``,
+scenario variants, ``repro-cli`` — can construct it by name, with parameters.
+See ``examples/custom_policy.py``.
+"""
+
+from repro.policies.hooks import (
+    HOOK_METHODS,
+    HookDispatcher,
+    JobEnded,
+    JobPlaced,
+    JobStarted,
+    JobSubmitted,
+    KisUpdated,
+    ProcessorsFreed,
+    SchedulerEvent,
+    SchedulerHooks,
+    implements_hooks,
+)
+from repro.policies.registry import (
+    KINDS,
+    PolicySpec,
+    build_policy,
+    iter_registered,
+    names,
+    parse_literal,
+    policy_doc,
+    policy_signature,
+    register,
+    resolve,
+    spec_string,
+)
+
+__all__ = [
+    "HOOK_METHODS",
+    "HookDispatcher",
+    "JobEnded",
+    "JobPlaced",
+    "JobStarted",
+    "JobSubmitted",
+    "KINDS",
+    "KisUpdated",
+    "PolicySpec",
+    "ProcessorsFreed",
+    "SchedulerEvent",
+    "SchedulerHooks",
+    "build_policy",
+    "implements_hooks",
+    "iter_registered",
+    "names",
+    "parse_literal",
+    "policy_doc",
+    "policy_signature",
+    "register",
+    "resolve",
+    "spec_string",
+]

@@ -1,0 +1,155 @@
+"""Average-steal (fair-share) malleability policy, after ElastiSim.
+
+The MalleableJobScheduling/ElastiSim project schedules malleable jobs with an
+*average-steal agreement*: when processors free up they are handed to the
+running malleable jobs with the **lowest** relative node usage first, and when
+processors must be reclaimed they are stolen from the jobs with the
+**highest** relative usage first, so allocations converge towards the average
+fill level instead of towards identical absolute sizes.
+
+This module reproduces that policy in the paper's planner interface: it is a
+pure function over read-only job views, parameterised by how "usage" is
+measured, and registered in the unified policy registry so it is available to
+every configuration surface under the name ``AVERAGE_STEAL`` (alias
+``STEAL``)::
+
+    ExperimentConfig(malleability_policy="AVERAGE_STEAL?balance=absolute")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.malleability.policies import (
+    GrowDirective,
+    MalleabilityPolicy,
+    MalleableJobView,
+    ShrinkDirective,
+    eligible_runners,
+)
+from repro.policies.registry import register
+
+#: Accepted values of the ``balance`` parameter.
+BALANCE_MODES = ("fraction", "absolute")
+
+
+def _bounds(runner: MalleableJobView) -> tuple:
+    """The (minimum, maximum) processor bounds of a runner's job.
+
+    Falls back to ``(0, None)`` for bare views (e.g. test fakes) that do not
+    expose a job, in which case fill fractions degrade to absolute sizes.
+    """
+    job = getattr(runner, "job", None)
+    if job is None:
+        return 0, None
+    return getattr(job, "minimum_processors", 0), getattr(job, "maximum_processors", None)
+
+
+@register("malleability", "AVERAGE_STEAL", aliases=("STEAL",))
+class AverageSteal(MalleabilityPolicy):
+    """Fair-share policy: grow the emptiest jobs first, steal from the fullest.
+
+    Parameters
+    ----------
+    balance:
+        ``"fraction"`` (default) ranks jobs by their fill fraction
+        ``(allocation - minimum) / (maximum - minimum)``, which is what
+        ElastiSim's average-steal agreement uses and what makes jobs with
+        wide size ranges share proportionally.  ``"absolute"`` ranks by the
+        raw allocation, which makes the policy behave like a classic
+        fair-share equipartitioner.
+    """
+
+    name = "AVERAGE_STEAL"
+
+    def __init__(self, balance: str = "fraction") -> None:
+        if balance not in BALANCE_MODES:
+            raise ValueError(
+                f"unknown balance mode {balance!r}; expected one of {BALANCE_MODES}"
+            )
+        self.balance = balance
+
+    # -- ranking -------------------------------------------------------------
+
+    def _priority(self, runner: MalleableJobView, adjustment: int) -> float:
+        """Fill level of *runner* assuming *adjustment* planned processors."""
+        allocation = runner.current_allocation + adjustment
+        if self.balance == "absolute":
+            return float(allocation)
+        minimum, maximum = _bounds(runner)
+        if maximum is None or maximum <= minimum:
+            return float(allocation)
+        return (allocation - minimum) / (maximum - minimum)
+
+    # -- planning ------------------------------------------------------------
+
+    def plan_grow(
+        self, runners: Sequence[MalleableJobView], grow_value: int
+    ) -> List[GrowDirective]:
+        directives: List[GrowDirective] = []
+        eligible = eligible_runners(runners)
+        remaining = int(grow_value)
+        if remaining <= 0 or not eligible:
+            return directives
+        # Hand processors out one at a time to the currently emptiest job
+        # that still accepts them, so allocations drift towards the average.
+        # One O(n) scan per processor (ties broken by input order, which is
+        # deterministic) — no per-unit re-sort.
+        planned: Dict[int, int] = {id(runner): 0 for runner in eligible}
+        while remaining > 0:
+            best = None
+            for index, runner in enumerate(eligible):
+                already = planned[id(runner)]
+                if runner.preview_grow(already + 1) <= already:
+                    continue
+                rank = (self._priority(runner, already), index)
+                if best is None or rank < best[0]:
+                    best = (rank, runner)
+            if best is None:
+                break
+            planned[id(best[1])] += 1
+            remaining -= 1
+        for runner in eligible:
+            amount = planned[id(runner)]
+            if amount <= 0:
+                continue
+            accepted = runner.preview_grow(amount)
+            if accepted > 0:
+                directives.append(
+                    GrowDirective(runner=runner, offered=amount, expected=accepted)
+                )
+        return directives
+
+    def plan_shrink(
+        self, runners: Sequence[MalleableJobView], shrink_value: int
+    ) -> List[ShrinkDirective]:
+        directives: List[ShrinkDirective] = []
+        eligible = eligible_runners(runners)
+        remaining = int(shrink_value)
+        if remaining <= 0 or not eligible:
+            return directives
+        # Mirror image of plan_grow: steal from the currently fullest job.
+        planned: Dict[int, int] = {id(runner): 0 for runner in eligible}
+        while remaining > 0:
+            best = None
+            for index, runner in enumerate(eligible):
+                already = planned[id(runner)]
+                if runner.preview_shrink(already + 1) <= already:
+                    continue
+                rank = (-self._priority(runner, -already), index)
+                if best is None or rank < best[0]:
+                    best = (rank, runner)
+            if best is None:
+                break
+            planned[id(best[1])] += 1
+            remaining -= 1
+        for runner in eligible:
+            amount = planned[id(runner)]
+            if amount <= 0:
+                continue
+            accepted = runner.preview_shrink(amount)
+            if accepted > 0:
+                directives.append(
+                    ShrinkDirective(runner=runner, requested=amount, expected=accepted)
+                )
+        return directives

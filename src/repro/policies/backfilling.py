@@ -1,0 +1,214 @@
+"""FCFS + EASY-backfilling placement policy.
+
+The classic EASY algorithm (and its ElastiSim incarnation,
+``rigid_easy_backfill.py``): jobs are placed strictly first-come-first-served,
+except that a job further back in the queue may *backfill* — start out of
+order — when doing so provably does not delay the estimated start of the jobs
+at the head of the queue.
+
+The paper's placement policies are stateless functions of the idle-processor
+view, but EASY needs more: the placement queue order and runtime estimates of
+the running jobs.  This policy is therefore also the first consumer of the
+scheduler's event-hook API — it receives the scheduler via
+:meth:`~repro.policies.hooks.SchedulerHooks.on_attach` and reads the queue
+and the running set through it.  Used standalone (no scheduler attached) it
+degrades gracefully to plain Worst-Fit FCFS.
+
+Runtime estimates use the application profiles' speedup models: a running
+job's remaining time is ``remaining_fraction * execution_time(allocation)``
+and a waiting job's runtime is ``execution_time(requested)``.  Estimates are
+heuristics — exactly as in real EASY, where users supply (bad) runtime
+estimates — so backfilling decisions can be wrong without ever breaking
+correctness; they only affect order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.koala.job import Job, JobState
+from repro.koala.placement import PlacementDecision, PlacementPolicy, WorstFit
+from repro.policies.hooks import SchedulerHooks
+from repro.policies.registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.multicluster import Multicluster
+    from repro.koala.scheduler import KoalaScheduler
+
+
+@register("placement", "EASY", aliases=("BACKFILL", "FCFS-EASY"))
+class EasyBackfilling(PlacementPolicy, SchedulerHooks):
+    """FCFS placement with EASY backfilling behind a head reservation.
+
+    Parameters
+    ----------
+    reserve_depth:
+        How many jobs at the head of the placement queue hold a shadow
+        reservation that backfilled jobs must not delay.  ``1`` is classic
+        EASY; higher values approach conservative backfilling.
+    runtime_margin:
+        Multiplier on a backfill candidate's estimated runtime before it is
+        compared against the shadow time.  Values above 1 make backfilling
+        more cautious against optimistic speedup estimates.
+    """
+
+    name = "EASY"
+
+    def __init__(self, reserve_depth: int = 1, runtime_margin: float = 1.0) -> None:
+        if reserve_depth < 1:
+            raise ValueError("reserve_depth must be >= 1")
+        if runtime_margin <= 0:
+            raise ValueError("runtime_margin must be positive")
+        self.reserve_depth = int(reserve_depth)
+        self.runtime_margin = float(runtime_margin)
+        self._scheduler: Optional["KoalaScheduler"] = None
+        self._worst_fit = WorstFit()
+
+    # -- scheduler hooks -----------------------------------------------------
+
+    def on_attach(self, scheduler: "KoalaScheduler") -> None:
+        self._scheduler = scheduler
+
+    # -- placement -----------------------------------------------------------
+
+    def place(
+        self,
+        job: Job,
+        idle_processors: Dict[str, int],
+        multicluster: "Multicluster",
+    ) -> PlacementDecision:
+        scheduler = self._scheduler
+        if scheduler is None:
+            # Standalone use: no queue context, behave as Worst-Fit FCFS.
+            return self._worst_fit.place(job, idle_processors, multicluster)
+
+        # A job only has to respect the reservations of heads *ahead* of it
+        # in the queue: the true head answers to nobody, the second reserved
+        # head must still not delay the first, and so on.
+        ahead: List[Job] = []
+        for head in self._reserved_heads(scheduler):
+            if head is job:
+                break
+            ahead.append(head)
+
+        decision = self._worst_fit.place(job, idle_processors, multicluster)
+        if not decision.success:
+            return decision
+        for head in ahead:
+            if not self._respects_reservation(
+                decision, head, idle_processors, scheduler
+            ):
+                # A hold, not a capacity failure: the job must not burn
+                # placement retries while it politely waits its turn.
+                return PlacementDecision.deferral(
+                    job,
+                    f"backfilling {job.name!r} would delay the reserved job "
+                    f"{head.name!r}",
+                )
+        return decision
+
+    def _reserved_heads(self, scheduler: "KoalaScheduler") -> List[Job]:
+        """The first ``reserve_depth`` still-queued jobs, FCFS order.
+
+        A candidate job that is itself among these holds a reservation too;
+        :meth:`place` checks it only against the reserved heads in front of
+        it, so deeper reservations never let a later job delay an earlier
+        one.
+        """
+        heads: List[Job] = []
+        for entry in scheduler.queue:
+            if entry.job.state is not JobState.QUEUED:
+                continue
+            heads.append(entry.job)
+            if len(heads) >= self.reserve_depth:
+                break
+        return heads
+
+    # -- reservation arithmetic ---------------------------------------------
+
+    def _respects_reservation(
+        self,
+        decision: PlacementDecision,
+        head: Job,
+        idle_processors: Dict[str, int],
+        scheduler: "KoalaScheduler",
+    ) -> bool:
+        """Whether executing *decision* now cannot delay *head*'s shadow start."""
+        shadow = self._shadow(head, idle_processors, scheduler)
+        if shadow is None:
+            # The head cannot start anywhere even with every running job
+            # finished; nothing this candidate does can make that worse.
+            return True
+        shadow_cluster, shadow_time, spare = shadow
+        candidate = decision.processors_on(shadow_cluster)
+        if candidate == 0:
+            # The candidate only touches clusters the reservation ignores.
+            return True
+        if candidate <= spare:
+            # It fits into processors the head will not need at its shadow
+            # start time.
+            return True
+        runtime = self._estimated_runtime(decision.job)
+        now = scheduler.env.now
+        return now + runtime * self.runtime_margin <= shadow_time
+
+    def _shadow(
+        self,
+        head: Job,
+        idle_processors: Dict[str, int],
+        scheduler: "KoalaScheduler",
+    ) -> Optional[Tuple[str, float, int]]:
+        """The head's shadow reservation: (cluster, start estimate, spare).
+
+        For every cluster, walk the running jobs in order of estimated
+        completion, accumulating their processors onto the idle count until
+        the head fits; the cluster reaching that point earliest wins.  *spare*
+        is how many processors exceed the head's need at that moment — the
+        room backfilled jobs may use freely.
+        """
+        needed = head.total_processors
+        now = scheduler.env.now
+        best: Optional[Tuple[float, str, int]] = None
+        for cluster_name in scheduler.cluster_names():
+            available = idle_processors.get(cluster_name, 0)
+            if available >= needed:
+                key = (now, cluster_name, available - needed)
+            else:
+                key = None
+                for finish, processors in self._completions(scheduler, cluster_name):
+                    available += processors
+                    if available >= needed:
+                        key = (finish, cluster_name, available - needed)
+                        break
+            if key is not None and (best is None or (key[0], key[1]) < (best[0], best[1])):
+                best = key
+        if best is None:
+            return None
+        shadow_time, cluster_name, spare = best[0], best[1], best[2]
+        return cluster_name, shadow_time, spare
+
+    def _completions(
+        self, scheduler: "KoalaScheduler", cluster_name: str
+    ) -> List[Tuple[float, int]]:
+        """(estimated finish time, processors) of running jobs on one cluster."""
+        completions: List[Tuple[float, int]] = []
+        now = scheduler.env.now
+        for job in scheduler.running_jobs():
+            runner = scheduler.runner_for(job)
+            if runner.cluster_name != cluster_name or not runner.is_running:
+                continue
+            allocation = runner.current_allocation
+            application = runner.application
+            if allocation <= 0 or application is None:
+                continue
+            remaining = application.remaining_fraction * job.profile.execution_time(
+                allocation
+            )
+            completions.append((now + max(0.0, remaining), allocation))
+        completions.sort()
+        return completions
+
+    @staticmethod
+    def _estimated_runtime(job: Job) -> float:
+        """Estimated runtime of a waiting job at its requested size."""
+        return float(job.profile.execution_time(max(1, job.total_processors)))

@@ -1,0 +1,209 @@
+"""Typed scheduler events and the hook protocol policies subscribe with.
+
+The scheduler core does not call its policies at hard-coded points anymore;
+it *emits* events, and anything implementing (part of) the
+:class:`SchedulerHooks` interface reacts.  The six events cover every
+job-management trigger of the paper's system:
+
+* :class:`JobSubmitted` — a job entered the placement queue;
+* :class:`JobPlaced` — a placement decision succeeded and claiming started;
+* :class:`JobStarted` — the application began executing;
+* :class:`JobEnded` — the application finished (or the runner gave up);
+* :class:`ProcessorsFreed` — a runner returned processors to a cluster;
+* :class:`KisUpdated` — the information service completed a poll.
+
+All three policy axes are wired through this one mechanism: the
+job-management approach maps trigger events to its PRA/PWA round, while
+placement and malleability policies may override any hook to maintain
+internal state (the EASY-backfilling placement policy tracks the scheduler
+this way).  Policies that ignore events inherit the no-op defaults from
+:class:`SchedulerHooks`, so plain planners stay plain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.runtime import ExecutionRecord
+    from repro.koala.job import Job
+    from repro.koala.kis import KisSnapshot
+    from repro.koala.scheduler import KoalaScheduler
+
+
+@dataclass(frozen=True)
+class SchedulerEvent:
+    """Base class of all scheduler events; carries the simulation time."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class JobSubmitted(SchedulerEvent):
+    """A job was accepted and enqueued for placement."""
+
+    job: "Job"
+
+
+@dataclass(frozen=True)
+class JobPlaced(SchedulerEvent):
+    """A placement decision succeeded; processors are being claimed."""
+
+    job: "Job"
+    cluster_name: str
+    processors: int
+
+
+@dataclass(frozen=True)
+class JobStarted(SchedulerEvent):
+    """A job's application is now executing."""
+
+    job: "Job"
+
+
+@dataclass(frozen=True)
+class JobEnded(SchedulerEvent):
+    """A job left the system: it finished, or its runner gave up.
+
+    ``failed`` distinguishes the two; ``record`` is present only for
+    successful completions, ``reason`` only for failures.
+    """
+
+    job: "Job"
+    record: Optional["ExecutionRecord"] = None
+    failed: bool = False
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ProcessorsFreed(SchedulerEvent):
+    """A runner released processors on one cluster (shrink, finish, decline)."""
+
+    cluster_name: str
+
+
+@dataclass(frozen=True)
+class KisUpdated(SchedulerEvent):
+    """The KOALA information service completed a poll."""
+
+    snapshot: "KisSnapshot"
+
+
+#: Event class -> hook method name, in one place so dispatcher and docs agree.
+HOOK_METHODS: Dict[type, str] = {
+    JobSubmitted: "on_job_submitted",
+    JobPlaced: "on_job_placed",
+    JobStarted: "on_job_started",
+    JobEnded: "on_job_ended",
+    ProcessorsFreed: "on_processors_freed",
+    KisUpdated: "on_kis_updated",
+}
+
+
+class SchedulerHooks:
+    """No-op implementation of every scheduler hook.
+
+    Subclass (or duck-type) this and override the events you care about.
+    Every hook receives the typed event and the emitting scheduler.
+    :meth:`on_attach` fires once, when the scheduler subscribes the policy,
+    and is the place to capture references to scheduler state (queue,
+    running jobs, information service).
+    """
+
+    def on_attach(self, scheduler: "KoalaScheduler") -> None:
+        """Called once when the scheduler subscribes this hook."""
+
+    def on_job_submitted(self, event: JobSubmitted, scheduler: "KoalaScheduler") -> None:
+        """A job entered the placement queue."""
+
+    def on_job_placed(self, event: JobPlaced, scheduler: "KoalaScheduler") -> None:
+        """A placement decision succeeded; claiming started."""
+
+    def on_job_started(self, event: JobStarted, scheduler: "KoalaScheduler") -> None:
+        """A job's application began executing."""
+
+    def on_job_ended(self, event: JobEnded, scheduler: "KoalaScheduler") -> None:
+        """A job finished or was abandoned."""
+
+    def on_processors_freed(self, event: ProcessorsFreed, scheduler: "KoalaScheduler") -> None:
+        """Processors were returned to a cluster."""
+
+    def on_kis_updated(self, event: KisUpdated, scheduler: "KoalaScheduler") -> None:
+        """The information service completed a poll."""
+
+
+class TriggerOnSchedulingEvents(SchedulerHooks):
+    """Maps the paper's job-management trigger points onto ``scheduler.trigger()``.
+
+    A submission, a successful completion, a processor release and an
+    information-service poll each start one re-entrancy-collapsed
+    job-management round; abandoned jobs release nothing new, so failed
+    :class:`JobEnded` events do not retrigger (matching the pre-redesign
+    scheduler callbacks exactly).  Both the :class:`JobManagementApproach`
+    base class and the scheduler's malleability-disabled fallback inherit
+    this wiring, so the two modes cannot diverge.
+    """
+
+    def on_job_submitted(self, event: JobSubmitted, scheduler: "KoalaScheduler") -> None:
+        scheduler.trigger()
+
+    def on_job_ended(self, event: JobEnded, scheduler: "KoalaScheduler") -> None:
+        if not event.failed:
+            scheduler.trigger()
+
+    def on_processors_freed(self, event: ProcessorsFreed, scheduler: "KoalaScheduler") -> None:
+        scheduler.trigger()
+
+    def on_kis_updated(self, event: KisUpdated, scheduler: "KoalaScheduler") -> None:
+        scheduler.trigger()
+
+
+def implements_hooks(obj: Any) -> bool:
+    """Whether *obj* overrides at least one hook method (or defines its own)."""
+    for method_name in list(HOOK_METHODS.values()) + ["on_attach"]:
+        method = getattr(type(obj), method_name, None)
+        if method is not None and method is not getattr(SchedulerHooks, method_name):
+            return True
+    return False
+
+
+class HookDispatcher:
+    """Routes typed events to the subscribed hooks, in subscription order.
+
+    Subscription order is deterministic and meaningful: the scheduler
+    subscribes the placement policy, then the malleability policy, then the
+    job-management approach, so the approach's trigger round always sees
+    state updates the other axes made for the same event.
+    """
+
+    def __init__(self, scheduler: "KoalaScheduler") -> None:
+        self.scheduler = scheduler
+        self._subscribers: List[Any] = []
+
+    @property
+    def subscribers(self) -> List[Any]:
+        """The subscribed hooks, in dispatch order."""
+        return list(self._subscribers)
+
+    def subscribe(self, hooks: Any) -> None:
+        """Add *hooks* (idempotently) and fire its ``on_attach``."""
+        if hooks in self._subscribers:
+            return
+        self._subscribers.append(hooks)
+        attach = getattr(hooks, "on_attach", None)
+        if attach is not None:
+            attach(self.scheduler)
+
+    def unsubscribe(self, hooks: Any) -> None:
+        """Remove *hooks* (a no-op when it was never subscribed)."""
+        if hooks in self._subscribers:
+            self._subscribers.remove(hooks)
+
+    def emit(self, event: SchedulerEvent) -> None:
+        """Deliver *event* to every subscriber implementing its hook."""
+        method_name = HOOK_METHODS[type(event)]
+        for hooks in list(self._subscribers):
+            method = getattr(hooks, method_name, None)
+            if method is not None:
+                method(event, self.scheduler)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Union
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
 
 from repro.koala.job import JobKind
 from repro.workloads.spec import JobSpec, WorkloadSpec

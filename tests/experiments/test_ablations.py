@@ -7,7 +7,6 @@ ordinary test suite.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.ablations import (
     ablation_report,

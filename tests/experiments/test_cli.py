@@ -138,3 +138,75 @@ def test_output_file_option(tmp_path, capsys):
 def test_unknown_scenario_rejected():
     with pytest.raises(SystemExit):
         main(["run", "nonsense"])
+
+
+def test_list_policies_names_every_axis_and_signature(capsys):
+    assert main(["list-policies"]) == 0
+    output = capsys.readouterr().out
+    for kind in ("placement:", "malleability:", "approach:"):
+        assert kind in output
+    for name in ("WF", "EASY", "FPSMA", "AVERAGE_STEAL", "PRA", "PWA"):
+        assert name in output
+    # Parameter signatures and docstring one-liners are shown.
+    assert "reserve_depth=1" in output
+    assert "balance='fraction'" in output
+    assert "FCFS placement with EASY backfilling" in output
+
+
+def test_custom_with_policy_args(capsys):
+    assert (
+        main(
+            [
+                "custom",
+                "--policy",
+                "AVERAGE_STEAL",
+                "--policy-arg",
+                "balance=absolute",
+                "--placement",
+                "EASY",
+                "--placement-arg",
+                "reserve_depth=2",
+                "--job-count",
+                "4",
+                "--seed",
+                "1",
+            ]
+        )
+        == 0
+    )
+    summary = capsys.readouterr().out
+    assert "AVERAGE_STEAL" in summary
+
+
+def test_custom_rejects_unknown_policy_with_registered_names():
+    with pytest.raises(SystemExit):
+        main(["custom", "--policy", "EGSS", "--job-count", "2"])
+
+
+def test_custom_rejects_bad_policy_arg():
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "custom",
+                "--policy",
+                "EGS",
+                "--policy-arg",
+                "favour_interval=30",
+                "--job-count",
+                "2",
+            ]
+        )
+
+
+def test_policy_arg_requires_a_policy():
+    with pytest.raises(SystemExit):
+        main(["custom", "--policy", "none", "--policy-arg", "balance=absolute"])
+
+
+def test_run_new_policy_scenarios(capsys):
+    assert main(["run", "average-steal", "--job-count", "6", "--seed", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "AVERAGE_STEAL" in output
+    assert main(["run", "backfilling", "--job-count", "6", "--seed", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "EASY?reserve_depth=2" in output

@@ -15,7 +15,6 @@ from repro.koala import (
     WorstFit,
     make_placement_policy,
 )
-from repro.sim import Environment, RandomStreams
 
 
 @pytest.fixture

@@ -8,7 +8,6 @@ from repro.koala import Job, PlacementQueue
 from repro.koala.claiming import ClaimLedger
 from repro.koala.kis import KoalaInformationService
 from repro.cluster import Multicluster
-from repro.sim import Environment, RandomStreams
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,7 @@ from repro.koala import Job, MalleableRunner, RigidRunner
 from repro.koala.claiming import ClaimLedger
 from repro.koala.runners import RunnersFramework
 from repro.koala.job import JobKind
-from repro.sim import Environment, RandomStreams
+from repro.sim import RandomStreams
 
 
 @dataclass

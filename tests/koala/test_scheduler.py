@@ -7,7 +7,7 @@ import pytest
 from repro.apps import ft_profile, gadget2_profile
 from repro.cluster import Multicluster
 from repro.koala import Job, JobState, KoalaScheduler, SchedulerConfig
-from repro.sim import Environment, RandomStreams
+from repro.sim import RandomStreams
 
 
 def build_scheduler(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps import ft_profile, gadget2_profile
+from repro.apps import gadget2_profile
 from repro.cluster import Multicluster
 from repro.koala import Job, KoalaScheduler, SchedulerConfig
 from repro.malleability import (
@@ -13,7 +13,7 @@ from repro.malleability import (
     PrecedenceToWaitingApplications,
     make_approach,
 )
-from repro.sim import Environment, RandomStreams
+from repro.sim import RandomStreams
 
 
 def build(env, *, approach="PRA", policy="FPSMA", offer_mode="released", nodes=24, threshold=0):

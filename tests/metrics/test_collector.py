@@ -17,7 +17,7 @@ from repro.metrics import (
     summary_table,
 )
 from repro.metrics.reports import activity_csv, cdf_probe_table, utilization_csv
-from repro.sim import Environment, RandomStreams
+from repro.sim import RandomStreams
 
 
 @pytest.fixture

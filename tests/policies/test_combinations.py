@@ -1,0 +1,64 @@
+"""Every registered policy combination constructs and survives a smoke run.
+
+This is the registry's contract test: whatever is registered — including
+policies added later in single new files — must be constructible by name from
+a configuration and must complete a tiny experiment under every
+(placement x approach x malleability) combination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.setup import ExperimentConfig, run_experiment
+from repro.koala.placement import PlacementPolicy
+from repro.malleability.manager import JobManagementApproach
+from repro.malleability.policies import MalleabilityPolicy
+from repro.policies import build_policy, names
+
+PLACEMENTS = names("placement")
+APPROACHES = names("approach")
+MALLEABILITY = names("malleability") + (None,)
+
+
+def test_every_registered_policy_constructs_by_name():
+    for name in PLACEMENTS:
+        assert isinstance(build_policy("placement", name), PlacementPolicy)
+    for name in names("malleability"):
+        assert isinstance(build_policy("malleability", name), MalleabilityPolicy)
+    for name in APPROACHES:
+        assert isinstance(build_policy("approach", name), JobManagementApproach)
+
+
+def test_every_combination_builds_a_valid_config():
+    for placement in PLACEMENTS:
+        for approach in APPROACHES:
+            for malleability in MALLEABILITY:
+                config = ExperimentConfig(
+                    placement_policy=placement,
+                    approach=approach,
+                    malleability_policy=malleability,
+                )
+                assert config.placement_policy == placement
+                assert config.approach == approach
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+@pytest.mark.parametrize("approach", APPROACHES)
+@pytest.mark.parametrize("malleability", MALLEABILITY)
+def test_combination_smoke_experiment(placement, approach, malleability):
+    config = ExperimentConfig(
+        name=f"combo-{placement}-{approach}-{malleability}",
+        workload="Wm",
+        job_count=2,
+        placement_policy=placement,
+        approach=approach,
+        malleability_policy=malleability,
+        background_fraction=0.0,
+        seed=0,
+    )
+    result = run_experiment(config)
+    assert result.all_done, (
+        f"combination {placement}/{approach}/{malleability} did not finish"
+    )
+    assert result.metrics.job_count == 2

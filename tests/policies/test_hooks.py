@@ -1,0 +1,156 @@
+"""Tests of the typed scheduler events and the hook dispatcher."""
+
+from __future__ import annotations
+
+from repro.apps import ft_profile
+from repro.cluster import Multicluster
+from repro.koala import Job, KoalaScheduler, SchedulerConfig
+from repro.policies import (
+    HOOK_METHODS,
+    JobEnded,
+    JobPlaced,
+    JobStarted,
+    JobSubmitted,
+    KisUpdated,
+    ProcessorsFreed,
+    SchedulerHooks,
+    implements_hooks,
+)
+from repro.sim import RandomStreams
+
+
+class RecordingHooks(SchedulerHooks):
+    """Probe subscriber that records every event it receives."""
+
+    def __init__(self):
+        self.attached_to = None
+        self.events = []
+
+    def on_attach(self, scheduler):
+        self.attached_to = scheduler
+
+    def on_job_submitted(self, event, scheduler):
+        self.events.append(event)
+
+    def on_job_placed(self, event, scheduler):
+        self.events.append(event)
+
+    def on_job_started(self, event, scheduler):
+        self.events.append(event)
+
+    def on_job_ended(self, event, scheduler):
+        self.events.append(event)
+
+    def on_processors_freed(self, event, scheduler):
+        self.events.append(event)
+
+    def on_kis_updated(self, event, scheduler):
+        self.events.append(event)
+
+    def of_type(self, event_type):
+        return [event for event in self.events if isinstance(event, event_type)]
+
+
+def build_scheduler(env, **config_kwargs):
+    streams = RandomStreams(seed=5)
+    system = Multicluster(env, streams=streams, gram_submission_latency=1.0)
+    system.add_cluster("alpha", 16)
+    scheduler = KoalaScheduler(
+        env,
+        system,
+        SchedulerConfig(poll_interval=10.0, **config_kwargs),
+        streams=streams,
+    )
+    return system, scheduler
+
+
+def test_scheduler_emits_all_six_event_types(env):
+    _, scheduler = build_scheduler(env)
+    probe = RecordingHooks()
+    scheduler.hooks.subscribe(probe)
+    assert probe.attached_to is scheduler
+
+    job = Job.malleable(ft_profile(), name="probe-job")
+    scheduler.submit(job)
+    env.run(until=2000)
+    assert scheduler.all_done
+
+    submitted = probe.of_type(JobSubmitted)
+    assert [event.job for event in submitted] == [job]
+    placed = probe.of_type(JobPlaced)
+    assert placed and placed[0].cluster_name == "alpha"
+    assert placed[0].processors == 2
+    started = probe.of_type(JobStarted)
+    assert [event.job for event in started] == [job]
+    ended = probe.of_type(JobEnded)
+    assert len(ended) == 1 and not ended[0].failed
+    assert ended[0].record is scheduler.records[job.job_id]
+    assert probe.of_type(ProcessorsFreed)
+    assert probe.of_type(KisUpdated)
+
+    # Event times are monotonic within the run.
+    times = [event.time for event in probe.events]
+    assert times == sorted(times)
+
+
+def test_policy_axes_are_subscribed_in_order(env):
+    _, scheduler = build_scheduler(env, malleability_policy="EGS", approach="PRA")
+    subscribers = scheduler.hooks.subscribers
+    assert subscribers[0] is scheduler.placement_policy
+    assert subscribers[1] is scheduler.manager.policy
+    assert subscribers[2] is scheduler.approach
+
+
+def test_scheduler_without_malleability_uses_queue_scan_hooks(env):
+    _, scheduler = build_scheduler(env, malleability_policy=None)
+    assert scheduler.manager is None
+    job = Job.malleable(ft_profile(), name="plain")
+    scheduler.submit(job)
+    env.run(until=1500)
+    assert scheduler.all_done
+
+
+def test_unsubscribe_stops_delivery(env):
+    _, scheduler = build_scheduler(env)
+    probe = RecordingHooks()
+    scheduler.hooks.subscribe(probe)
+    scheduler.hooks.unsubscribe(probe)
+    scheduler.submit(Job.malleable(ft_profile(), name="silent"))
+    env.run(until=50)
+    assert probe.events == []
+
+
+def test_subscribe_is_idempotent(env):
+    _, scheduler = build_scheduler(env)
+    probe = RecordingHooks()
+    scheduler.hooks.subscribe(probe)
+    scheduler.hooks.subscribe(probe)
+    scheduler.submit(Job.malleable(ft_profile(), name="once"))
+    assert len(probe.of_type(JobSubmitted)) == 1
+
+
+def test_hook_methods_cover_every_event_type():
+    assert set(HOOK_METHODS.values()) == {
+        "on_job_submitted",
+        "on_job_placed",
+        "on_job_started",
+        "on_job_ended",
+        "on_processors_freed",
+        "on_kis_updated",
+    }
+
+
+def test_implements_hooks_detects_overrides():
+    assert implements_hooks(RecordingHooks())
+    assert not implements_hooks(SchedulerHooks())
+    assert not implements_hooks(object())
+
+
+def test_plain_policies_tolerate_event_dispatch(env):
+    # Worst-Fit and FPSMA implement no hooks at all; dispatch must skip them
+    # silently while still delivering to the approach.
+    _, scheduler = build_scheduler(env, placement_policy="WF", malleability_policy="FPSMA")
+    job = Job.malleable(ft_profile(), name="dispatch")
+    scheduler.submit(job)
+    env.run(until=2000)
+    assert scheduler.all_done

@@ -1,0 +1,297 @@
+"""Tests of the two policies shipped with the unified policy API.
+
+* ``AVERAGE_STEAL`` — the ElastiSim-style fair-share malleability policy;
+* ``EASY`` — the FCFS + EASY-backfilling placement policy (the first
+  hook-driven policy).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps import ft_profile
+from repro.cluster import Multicluster
+from repro.experiments.engine import result_to_record, run_configs
+from repro.experiments.setup import ExperimentConfig, run_experiment
+from repro.koala import Job, JobState, KoalaScheduler, SchedulerConfig
+from repro.koala.placement import WorstFit
+from repro.policies.average_steal import AverageSteal
+from repro.policies.backfilling import EasyBackfilling
+from repro.sim import RandomStreams
+
+
+# ---------------------------------------------------------------------------
+# AverageSteal planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FakeRunner:
+    """Stand-in malleable job view with explicit size bounds."""
+
+    name: str
+    start_time: float
+    current_allocation: int
+    minimum: int = 2
+    maximum: int = 46
+    reconfiguring: bool = False
+    job: SimpleNamespace = field(init=False)
+
+    def __post_init__(self):
+        self.job = SimpleNamespace(
+            minimum_processors=self.minimum, maximum_processors=self.maximum
+        )
+
+    def preview_grow(self, offered: int) -> int:
+        return max(0, min(self.current_allocation + offered, self.maximum) - self.current_allocation)
+
+    def preview_shrink(self, requested: int) -> int:
+        return max(0, self.current_allocation - max(self.current_allocation - requested, self.minimum))
+
+
+def test_average_steal_grows_emptiest_fraction_first():
+    # small is at 25% of its range, big at 75%: the growth goes to small.
+    small = FakeRunner("small", 10.0, current_allocation=3, minimum=2, maximum=6)
+    big = FakeRunner("big", 20.0, current_allocation=5, minimum=2, maximum=6)
+    plan = AverageSteal().plan_grow([big, small], grow_value=2)
+    amounts = {d.runner.name: d.offered for d in plan}
+    assert amounts == {"small": 2}
+
+
+def test_average_steal_balances_towards_equal_fill():
+    a = FakeRunner("a", 10.0, current_allocation=2, minimum=2, maximum=10)
+    b = FakeRunner("b", 20.0, current_allocation=6, minimum=2, maximum=10)
+    plan = AverageSteal().plan_grow([a, b], grow_value=4)
+    amounts = {d.runner.name: d.offered for d in plan}
+    # a (fill 0) takes processors until it catches up with b (fill 0.5).
+    assert amounts == {"a": 4}
+
+
+def test_average_steal_shrinks_fullest_first():
+    full = FakeRunner("full", 10.0, current_allocation=9, minimum=2, maximum=10)
+    empty = FakeRunner("empty", 20.0, current_allocation=3, minimum=2, maximum=10)
+    plan = AverageSteal().plan_shrink([empty, full], shrink_value=3)
+    amounts = {d.runner.name: d.requested for d in plan}
+    assert amounts == {"full": 3}
+
+
+def test_average_steal_absolute_mode_uses_raw_allocation():
+    # In fraction mode wide takes priority (lower fill); in absolute mode
+    # narrow does (smaller allocation).
+    wide = FakeRunner("wide", 10.0, current_allocation=4, minimum=2, maximum=46)
+    narrow = FakeRunner("narrow", 20.0, current_allocation=3, minimum=2, maximum=4)
+    by_fraction = AverageSteal(balance="fraction").plan_grow([wide, narrow], 1)
+    assert by_fraction[0].runner.name == "wide"
+    by_absolute = AverageSteal(balance="absolute").plan_grow([wide, narrow], 1)
+    assert by_absolute[0].runner.name == "narrow"
+
+
+def test_average_steal_respects_reconfiguring_and_bounds():
+    busy = FakeRunner("busy", 10.0, current_allocation=2, reconfiguring=True)
+    capped = FakeRunner("capped", 20.0, current_allocation=6, minimum=2, maximum=6)
+    assert AverageSteal().plan_grow([busy, capped], grow_value=5) == []
+    at_minimum = FakeRunner("atmin", 30.0, current_allocation=2, minimum=2)
+    assert AverageSteal().plan_shrink([busy, at_minimum], shrink_value=5) == []
+
+
+def test_average_steal_rejects_unknown_balance_mode():
+    with pytest.raises(ValueError, match="balance"):
+        AverageSteal(balance="chaotic")
+
+
+# ---------------------------------------------------------------------------
+# EasyBackfilling
+# ---------------------------------------------------------------------------
+
+
+def build_scheduler(env, *, placement="EASY", cluster_size=10):
+    streams = RandomStreams(seed=11)
+    system = Multicluster(env, streams=streams, gram_submission_latency=1.0)
+    system.add_cluster("alpha", cluster_size)
+    scheduler = KoalaScheduler(
+        env,
+        system,
+        SchedulerConfig(
+            placement_policy=placement,
+            malleability_policy=None,
+            poll_interval=10.0,
+        ),
+        streams=streams,
+    )
+    return system, scheduler
+
+
+def rigid(name, processors):
+    return Job.rigid(ft_profile().as_rigid(), processors=processors, name=name)
+
+
+def test_easy_standalone_equals_worst_fit():
+    policy = EasyBackfilling()
+    job = rigid("solo", 4)
+    idle = {"alpha": 10, "beta": 6}
+    decision = policy.place(job, idle, multicluster=None)
+    reference = WorstFit().place(job, idle, multicluster=None)
+    assert decision.placements == reference.placements
+
+
+def test_easy_denies_backfill_that_would_delay_the_head(env):
+    _, scheduler = build_scheduler(env, placement="EASY")
+    running = rigid("running", 6)
+    scheduler.submit(running)
+    env.run(until=30)
+    assert running.state is JobState.RUNNING
+
+    head = rigid("head", 8)  # does not fit: only 4 idle
+    candidate = rigid("candidate", 4)  # fits, but same profile => outlives head's shadow
+    scheduler.submit(head)
+    scheduler.submit(candidate)
+    env.run(until=60)
+    # EASY refuses to start the candidate ahead of the reserved head.
+    assert head.state is JobState.QUEUED
+    assert candidate.state is JobState.QUEUED
+
+    env.run(until=6000)
+    assert scheduler.all_done
+    # FCFS order is preserved: the head started no later than the candidate.
+    assert scheduler.records[head.job_id].start_time <= (
+        scheduler.records[candidate.job_id].start_time
+    )
+
+
+def test_worst_fit_lets_the_same_candidate_jump_the_head(env):
+    _, scheduler = build_scheduler(env, placement="WF")
+    running = rigid("running", 6)
+    scheduler.submit(running)
+    env.run(until=30)
+
+    head = rigid("head", 8)
+    candidate = rigid("candidate", 4)
+    scheduler.submit(head)
+    scheduler.submit(candidate)
+    env.run(until=60)
+    # Worst-Fit places anything that fits, out of order.
+    assert candidate.state is JobState.RUNNING
+    assert head.state is JobState.QUEUED
+    env.run(until=6000)
+    assert scheduler.all_done
+    assert scheduler.records[candidate.job_id].start_time < (
+        scheduler.records[head.job_id].start_time
+    )
+
+
+def test_easy_allows_backfill_into_spare_processors(env):
+    # Cluster of 12: running job takes 6, head needs 8. At the head's shadow
+    # start 12 processors are free, leaving 4 spare — a 2-processor candidate
+    # backfills immediately without delaying the head.
+    _, scheduler = build_scheduler(env, placement="EASY", cluster_size=12)
+    running = rigid("running", 6)
+    scheduler.submit(running)
+    env.run(until=30)
+
+    head = rigid("head", 8)
+    candidate = rigid("candidate", 2)
+    scheduler.submit(head)
+    scheduler.submit(candidate)
+    env.run(until=60)
+    assert candidate.state is JobState.RUNNING
+    assert head.state is JobState.QUEUED
+    env.run(until=8000)
+    assert scheduler.all_done
+
+
+def test_easy_parameters_validated():
+    with pytest.raises(ValueError):
+        EasyBackfilling(reserve_depth=0)
+    with pytest.raises(ValueError):
+        EasyBackfilling(runtime_margin=0.0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: smoke runs and deterministic sweeps
+# ---------------------------------------------------------------------------
+
+
+def smoke_config(**overrides):
+    defaults = dict(
+        name="new-policy-smoke",
+        workload="Wm",
+        job_count=4,
+        background_fraction=0.0,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def test_new_policies_complete_smoke_experiments():
+    for overrides in (
+        {"placement_policy": "EASY"},
+        {"placement_policy": "EASY?reserve_depth=2"},
+        {"malleability_policy": "AVERAGE_STEAL"},
+        {"malleability_policy": "AVERAGE_STEAL?balance='absolute'"},
+    ):
+        result = run_experiment(smoke_config(**overrides))
+        assert result.all_done
+        assert result.metrics.job_count == 4
+
+
+def test_new_policy_sweeps_are_serial_parallel_byte_identical():
+    configs = [
+        smoke_config(placement_policy="EASY", seed=3),
+        smoke_config(malleability_policy="AVERAGE_STEAL", seed=3),
+        smoke_config(malleability_policy="AVERAGE_STEAL?balance='absolute'", seed=3),
+    ]
+    serial = run_configs(configs, jobs=1, cache=None)
+    parallel = run_configs(configs, jobs=2, cache=None)
+    for left, right in zip(serial, parallel):
+        left_json = json.dumps(result_to_record(left), sort_keys=True)
+        right_json = json.dumps(result_to_record(right), sort_keys=True)
+        assert left_json == right_json
+
+
+def test_easy_holds_do_not_consume_placement_retries(env):
+    # A backfill candidate held back to protect the head's reservation is a
+    # deferral: its try counter must not move, while the head's genuine
+    # capacity failures still count.
+    _, scheduler = build_scheduler(env, placement="EASY")
+    scheduler.submit(rigid("running", 6))
+    env.run(until=30)
+    head = rigid("head", 8)  # capacity failure: only 4 idle
+    candidate = rigid("candidate", 4)  # fits, but held back by the reservation
+    scheduler.submit(head)
+    scheduler.submit(candidate)
+    # Several polls pass; each one would burn a candidate retry if holds
+    # counted as failures.
+    env.run(until=60)
+    assert candidate.state is JobState.QUEUED
+    tries = {entry.job.name: entry.tries for entry in scheduler.queue}
+    assert tries["head"] > 0
+    assert tries["candidate"] == 0
+    assert candidate.placement_tries == 0
+    env.run(until=6000)
+    assert scheduler.all_done
+    assert not scheduler.failed
+
+
+def test_easy_deeper_reservations_still_protect_earlier_heads(env):
+    # With reserve_depth=2 the second reserved head must still defer to the
+    # first: deeper reservations never make backfilling *more* aggressive.
+    _, scheduler = build_scheduler(env, placement="EASY?reserve_depth=2")
+    scheduler.submit(rigid("running", 6))
+    env.run(until=30)
+    first = rigid("first", 8)  # does not fit (4 idle)
+    second = rigid("second", 4)  # fits, reserved too, but behind first
+    scheduler.submit(first)
+    scheduler.submit(second)
+    env.run(until=60)
+    assert first.state is JobState.QUEUED
+    assert second.state is JobState.QUEUED
+    env.run(until=6000)
+    assert scheduler.all_done
+    assert scheduler.records[first.job_id].start_time <= (
+        scheduler.records[second.job_id].start_time
+    )

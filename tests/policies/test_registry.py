@@ -1,0 +1,287 @@
+"""Tests of the unified policy registry and the PolicySpec parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.setup import ExperimentConfig
+from repro.koala.placement import (
+    CloseToFiles,
+    WorstFit,
+    make_placement_policy,
+)
+from repro.koala.scheduler import SchedulerConfig
+from repro.malleability.manager import (
+    PrecedenceToRunningApplications,
+    make_approach,
+)
+from repro.malleability.policies import EquiGrowShrink, make_malleability_policy
+from repro.policies import (
+    KINDS,
+    PolicySpec,
+    build_policy,
+    iter_registered,
+    names,
+    policy_doc,
+    policy_signature,
+    register,
+    resolve,
+    spec_string,
+)
+from repro.policies.average_steal import AverageSteal
+from repro.policies.backfilling import EasyBackfilling
+from repro.policies.registry import _ALIASES, _REGISTRY
+
+
+@pytest.fixture
+def scratch_registration():
+    """Roll back any registrations a test makes."""
+    before_registry = dict(_REGISTRY)
+    before_aliases = dict(_ALIASES)
+    yield
+    _REGISTRY.clear()
+    _REGISTRY.update(before_registry)
+    _ALIASES.clear()
+    _ALIASES.update(before_aliases)
+
+
+def test_builtin_policies_are_registered():
+    assert names("placement") == ("CF", "CM", "EASY", "FCM", "WF")
+    assert names("malleability") == (
+        "AVERAGE_STEAL",
+        "EGS",
+        "EQUIPARTITION",
+        "FOLDING",
+        "FPSMA",
+    )
+    assert names("approach") == ("PRA", "PWA")
+    assert set(KINDS) == {"placement", "malleability", "approach"}
+
+
+def test_iter_registered_yields_sorted_triples():
+    triples = list(iter_registered())
+    assert ("malleability", "AVERAGE_STEAL", AverageSteal) in triples
+    assert triples == sorted(triples, key=lambda t: (t[0], t[1]))
+
+
+def test_resolve_handles_aliases_and_case():
+    assert resolve("placement", "wf") is WorstFit
+    assert resolve("placement", "worst-fit") is WorstFit
+    assert resolve("malleability", "equi-grow-shrink") is EquiGrowShrink
+    assert resolve("malleability", "steal") is AverageSteal
+
+
+def test_unknown_name_lists_registered_names():
+    with pytest.raises(ValueError, match="CF, CM, EASY, FCM, WF"):
+        resolve("placement", "NOPE")
+    with pytest.raises(ValueError, match="AVERAGE_STEAL"):
+        PolicySpec.parse("malleability", "XYZZY")
+
+
+def test_spec_parses_bare_name():
+    spec = PolicySpec.parse("placement", "wf")
+    assert (spec.kind, spec.name, spec.params) == ("placement", "WF", ())
+    assert spec.canonical() == "WF"
+    assert isinstance(spec.build(), WorstFit)
+
+
+def test_spec_parses_query_string_with_literals():
+    spec = PolicySpec.parse("placement", "EASY?reserve_depth=2&runtime_margin=1.5")
+    assert spec.name == "EASY"
+    assert dict(spec.params) == {"reserve_depth": 2, "runtime_margin": 1.5}
+    policy = spec.build()
+    assert isinstance(policy, EasyBackfilling)
+    assert policy.reserve_depth == 2
+    assert policy.runtime_margin == 1.5
+
+
+def test_spec_parses_mapping_and_spec_passthrough():
+    spec = PolicySpec.parse(
+        "placement", {"name": "cf", "params": {"file_size_mb": 250}}
+    )
+    assert spec.canonical() == "CF?file_size_mb=250"
+    again = PolicySpec.parse("placement", spec)
+    assert again == spec
+    policy = spec.build()
+    assert isinstance(policy, CloseToFiles)
+    assert policy.file_size_mb == 250
+
+
+def test_canonical_string_round_trips_string_params():
+    spec = PolicySpec.parse("malleability", "AVERAGE_STEAL?balance='absolute'")
+    text = spec.canonical()
+    reparsed = PolicySpec.parse("malleability", text)
+    assert reparsed == spec
+    assert reparsed.build().balance == "absolute"
+
+
+def test_canonical_params_are_sorted():
+    a = PolicySpec.parse("placement", "EASY?runtime_margin=2.0&reserve_depth=3")
+    b = PolicySpec.parse("placement", "EASY?reserve_depth=3&runtime_margin=2.0")
+    assert a == b
+    assert a.canonical() == b.canonical()
+
+
+def test_unknown_parameter_raises_with_signature():
+    with pytest.raises(TypeError, match="reserve_depth"):
+        PolicySpec.parse("placement", "EASY?bogus=1")
+
+
+def test_parameter_on_parameterless_policy_rejected():
+    with pytest.raises(TypeError, match="no parameters"):
+        PolicySpec.parse("malleability", "EGS?favour_interval=30")
+
+
+def test_malformed_query_string_rejected():
+    with pytest.raises(ValueError, match="malformed"):
+        PolicySpec.parse("placement", "EASY?reserve_depth")
+
+
+def test_build_policy_passes_instances_through():
+    instance = WorstFit()
+    assert build_policy("placement", instance) is instance
+
+
+def test_duplicate_registration_rejected(scratch_registration):
+    @register("placement", "DUPE")
+    class First(WorstFit):
+        pass
+
+    with pytest.raises(ValueError, match="already registered"):
+
+        @register("placement", "DUPE")
+        class Second(WorstFit):
+            pass
+
+    # Re-registering the *same* class is benign (repeated module import).
+    assert register("placement", "DUPE")(First) is First
+
+
+def test_signature_and_doc_rendering():
+    assert policy_signature(WorstFit) == ""
+    assert "file_size_mb" in policy_signature(CloseToFiles)
+    assert policy_doc(EquiGrowShrink).startswith("Equi-Grow")
+
+
+# -- legacy factory shims -----------------------------------------------------
+
+
+def test_make_factories_delegate_to_registry_with_deprecation():
+    with pytest.deprecated_call():
+        placement = make_placement_policy("wf")
+    assert isinstance(placement, WorstFit)
+    with pytest.deprecated_call():
+        malleability = make_malleability_policy("egs")
+    assert isinstance(malleability, EquiGrowShrink)
+    with pytest.deprecated_call():
+        approach = make_approach("pra")
+    assert isinstance(approach, PrecedenceToRunningApplications)
+
+
+def test_make_factories_still_raise_value_error_on_unknown_names():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError):
+            make_placement_policy("nope")
+        with pytest.raises(ValueError):
+            make_malleability_policy("nope")
+        with pytest.raises(ValueError):
+            make_approach("nope")
+
+
+def test_shim_equivalent_to_registry_construction():
+    with pytest.warns(DeprecationWarning):
+        shimmed = make_placement_policy("CF", file_size_mb=123.0)
+    direct = build_policy("placement", "CF?file_size_mb=123.0")
+    assert type(shimmed) is type(direct)
+    assert shimmed.file_size_mb == direct.file_size_mb == 123.0
+
+
+# -- config-construction-time validation -------------------------------------
+
+
+def test_experiment_config_rejects_unknown_policies_early():
+    with pytest.raises(ValueError, match="AVERAGE_STEAL, EGS"):
+        ExperimentConfig(malleability_policy="EGSS")
+    with pytest.raises(ValueError, match="CF, CM, EASY"):
+        ExperimentConfig(placement_policy="WFX")
+    with pytest.raises(ValueError, match="PRA, PWA"):
+        ExperimentConfig(approach="PRB")
+
+
+def test_experiment_config_rejects_bad_params_early():
+    with pytest.raises(TypeError, match="reserve_depth"):
+        ExperimentConfig(placement_policy="EASY?depth=2")
+
+
+def test_scheduler_config_rejects_unknown_policies_early():
+    with pytest.raises(ValueError, match="registered"):
+        SchedulerConfig(malleability_policy="FPSMAA")
+    with pytest.raises(ValueError, match="registered"):
+        SchedulerConfig(placement_policy="nope")
+    with pytest.raises(ValueError, match="registered"):
+        SchedulerConfig(approach="nope")
+
+
+def test_configs_canonicalise_policy_references():
+    config = ExperimentConfig(
+        malleability_policy={"name": "average_steal", "params": {"balance": "absolute"}},
+        placement_policy="easy?reserve_depth=2",
+        approach="pwa",
+    )
+    assert config.malleability_policy == "AVERAGE_STEAL?balance='absolute'"
+    assert config.placement_policy == "EASY?reserve_depth=2"
+    assert config.approach == "PWA"
+    # The canonical strings survive the JSON round-trip used by the cache.
+    round_tripped = ExperimentConfig.from_dict(config.to_dict())
+    assert round_tripped == config
+
+
+def test_scheduler_config_accepts_instances_unchanged():
+    policy = EasyBackfilling(reserve_depth=3)
+    config = SchedulerConfig(placement_policy=policy)
+    assert config.placement_policy is policy
+
+
+def test_spec_string_normalises_every_form():
+    assert spec_string("placement", "wf") == "WF"
+    assert spec_string("approach", {"name": "pra"}) == "PRA"
+    assert (
+        spec_string("malleability", PolicySpec.parse("malleability", "steal"))
+        == "AVERAGE_STEAL"
+    )
+
+
+def test_alias_cannot_hijack_a_registered_name(scratch_registration):
+    with pytest.raises(ValueError, match="collides"):
+
+        @register("malleability", "HIJACKER", aliases=("EGS",))
+        class Hijacker(EquiGrowShrink):
+            pass
+
+
+def test_alias_cannot_be_retargeted(scratch_registration):
+    @register("placement", "ONE", aliases=("SHARED",))
+    class One(WorstFit):
+        pass
+
+    with pytest.raises(ValueError, match="already an alias"):
+
+        @register("placement", "TWO", aliases=("SHARED",))
+        class Two(WorstFit):
+            pass
+
+
+def test_registered_name_wins_over_alias(scratch_registration):
+    # Registering a policy whose *name* equals a pre-existing alias is
+    # allowed, and direct names take precedence over the alias mapping.
+    @register("malleability", "STEAL")
+    class DirectSteal(EquiGrowShrink):
+        pass
+
+    assert resolve("malleability", "STEAL") is DirectSteal
+
+
+def test_spec_of_wrong_kind_is_rejected():
+    placement = PolicySpec.parse("placement", "WF")
+    with pytest.raises(ValueError, match="expected a malleability policy"):
+        PolicySpec.parse("malleability", placement)

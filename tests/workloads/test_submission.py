@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster import Multicluster
 from repro.koala import JobKind, KoalaScheduler, SchedulerConfig
-from repro.sim import Environment, RandomStreams
+from repro.sim import RandomStreams
 from repro.workloads import JobSpec, WorkloadSpec, WorkloadSubmitter
 
 

@@ -10,6 +10,8 @@ the trends can be read from the output.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.ablations import (
     ablation_report,
     run_approach_ablation,
@@ -21,6 +23,8 @@ from repro.experiments.ablations import (
 )
 
 from conftest import bench_jobs, bench_seed
+
+pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
 
 
 def _jobs() -> int:

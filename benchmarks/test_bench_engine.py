@@ -8,7 +8,11 @@ caught before they show up as slow experiments.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim import Container, Environment, Resource
+
+pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
 
 
 def run_timeout_chain(events: int = 20_000) -> float:

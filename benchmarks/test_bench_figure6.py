@@ -12,6 +12,8 @@ import pytest
 
 from repro.experiments.figure6 import figure6_report, figure6_table, run_figure6
 
+pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
+
 
 def test_bench_figure6_scaling_curves(benchmark):
     points = benchmark.pedantic(

@@ -7,6 +7,8 @@ series from the shared results and assert the paper's qualitative findings.
 
 from __future__ import annotations
 
+import pytest
+
 import numpy as np
 
 from repro.experiments import run_figure7
@@ -14,6 +16,8 @@ from repro.experiments.figure7 import figure7_report
 from repro.metrics.reports import cdf_probe_table, comparison_table
 
 from conftest import bench_jobs, bench_seed
+
+pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
 
 
 def test_bench_figure7_experiments(benchmark):

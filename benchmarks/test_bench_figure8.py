@@ -7,6 +7,8 @@ panels and assert the paper's qualitative findings for this regime.
 
 from __future__ import annotations
 
+import pytest
+
 import numpy as np
 
 from repro.experiments import run_figure7, run_figure8
@@ -14,6 +16,8 @@ from repro.experiments.figure8 import figure8_report
 from repro.metrics.reports import cdf_probe_table, comparison_table
 
 from conftest import bench_jobs, bench_seed
+
+pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
 
 
 def test_bench_figure8_experiments(benchmark):

@@ -8,9 +8,13 @@ per run).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.cluster import das3_multicluster
 from repro.experiments.table1 import table1_report
 from repro.sim import Environment, RandomStreams
+
+pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
 
 
 def build_das3():

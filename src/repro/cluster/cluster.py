@@ -94,7 +94,10 @@ class Cluster:
     @property
     def idle_processors(self) -> int:
         """Processors currently idle."""
-        return self._total - self.used_processors
+        # Computed inline (not via ``used_processors``): this property is the
+        # single most queried quantity of a run — every KIS poll and every
+        # placement/grow decision reads it for every cluster.
+        return self._total - self._used_grid - self._used_local
 
     @property
     def utilization(self) -> float:

@@ -81,6 +81,7 @@ def result_to_record(result: ExperimentResult) -> Dict[str, Any]:
         "simulated_time": float(result.simulated_time),
         "all_done": bool(result.all_done),
         "workload_duration": float(result.workload_duration),
+        "events_processed": int(result.events_processed),
     }
 
 
@@ -93,6 +94,8 @@ def record_to_result(record: Dict[str, Any]) -> ExperimentResult:
         simulated_time=float(record["simulated_time"]),
         all_done=bool(record["all_done"]),
         workload_duration=float(record["workload_duration"]),
+        # Absent in records written before the benchmark subsystem existed.
+        events_processed=int(record.get("events_processed", 0)),
     )
 
 

@@ -224,6 +224,10 @@ class ExperimentResult:
     subprocess or loaded from the on-disk cache — those paths only transport
     the JSON-serialisable fields.  Code that needs the submission horizon
     should use :attr:`workload_duration`, which survives every path.
+
+    ``events_processed`` is the number of kernel events the simulation's run
+    loop processed — the throughput denominator the benchmark subsystem
+    reports as events/second.
     """
 
     config: ExperimentConfig
@@ -232,6 +236,7 @@ class ExperimentResult:
     simulated_time: float
     all_done: bool
     workload_duration: float = 0.0
+    events_processed: int = 0
 
     def __post_init__(self) -> None:
         if self.workload is not None and not self.workload_duration:
@@ -349,4 +354,5 @@ def run_experiment(
         workload=workload,
         simulated_time=env.now,
         all_done=scheduler.all_done,
+        events_processed=env.processed_events,
     )

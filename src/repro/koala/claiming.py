@@ -37,10 +37,17 @@ class PendingClaim:
 
 
 class ClaimLedger:
-    """Tracks processors that are promised but not yet claimed, per cluster."""
+    """Tracks processors that are promised but not yet claimed, per cluster.
+
+    Alongside the claim-id map, the ledger maintains a per-cluster running
+    total of pending processors, so the ``effective idle`` view consulted by
+    every placement and grow decision is a dictionary lookup instead of a
+    scan over all outstanding claims.
+    """
 
     def __init__(self) -> None:
         self._pending: Dict[int, PendingClaim] = {}
+        self._cluster_pending: Dict[str, int] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -50,11 +57,15 @@ class ClaimLedger:
             raise ValueError("a reservation must cover at least one processor")
         claim = PendingClaim(cluster=cluster, processors=int(processors), owner=owner)
         self._pending[claim.claim_id] = claim
+        pending = self._cluster_pending
+        pending[cluster] = pending.get(cluster, 0) + claim.processors
         return claim
 
     def settle(self, claim: PendingClaim) -> None:
         """Clear *claim* (GRAM has granted or definitively refused it)."""
-        self._pending.pop(claim.claim_id, None)
+        removed = self._pending.pop(claim.claim_id, None)
+        if removed is not None:
+            self._cluster_pending[removed.cluster] -= removed.processors
 
     def adjust(self, claim: PendingClaim, processors: int) -> None:
         """Change the size of a pending claim (e.g. partial grant so far)."""
@@ -62,28 +73,30 @@ class ClaimLedger:
             self.settle(claim)
             return
         if claim.claim_id in self._pending:
+            self._cluster_pending[claim.cluster] += int(processors) - claim.processors
             claim.processors = int(processors)
 
     # -- queries -------------------------------------------------------------
 
     def pending_on(self, cluster: str) -> int:
         """Processors currently promised but unclaimed on *cluster*."""
-        return sum(c.processors for c in self._pending.values() if c.cluster == cluster)
+        return self._cluster_pending.get(cluster, 0)
 
     def pending_total(self) -> int:
         """Processors currently promised but unclaimed system-wide."""
-        return sum(c.processors for c in self._pending.values())
+        return sum(self._cluster_pending.values())
 
     def effective_idle(self, idle_processors: Dict[str, int]) -> Dict[str, int]:
         """Idle view with pending claims subtracted (never below zero)."""
+        pending = self._cluster_pending
         return {
-            name: max(0, idle - self.pending_on(name))
+            name: max(0, idle - pending.get(name, 0))
             for name, idle in idle_processors.items()
         }
 
     def effective_idle_in(self, cluster: str, idle: int) -> int:
         """Effective idle processors of a single cluster."""
-        return max(0, idle - self.pending_on(cluster))
+        return max(0, idle - self._cluster_pending.get(cluster, 0))
 
     def owners_on(self, cluster: str) -> Dict[str, int]:
         """Pending processors per owner on *cluster* (for diagnostics)."""

@@ -195,6 +195,10 @@ class KoalaScheduler:
         self._runners: Dict[int, JobRunner] = {}
         #: Jobs whose application is currently executing.
         self._running: Dict[int, Job] = {}
+        #: Running malleable runners indexed by cluster, in start order —
+        #: mirrors ``_running`` so the malleability manager's per-cluster
+        #: queries do not rescan every running job.
+        self._running_malleable: Dict[str, List[MalleableRunner]] = {}
         #: Completed jobs with their execution records, in completion order.
         self.finished: List[Job] = []
         self.records: Dict[int, ExecutionRecord] = {}
@@ -267,16 +271,10 @@ class KoalaScheduler:
 
     def running_malleable_runners(self, cluster_name: str) -> List[MalleableRunner]:
         """Running malleable runners placed on *cluster_name*."""
-        result: List[MalleableRunner] = []
-        for job in self._running.values():
-            runner = self._runners[job.job_id]
-            if (
-                isinstance(runner, MalleableRunner)
-                and runner.cluster_name == cluster_name
-                and runner.is_running
-            ):
-                result.append(runner)
-        return result
+        runners = self._running_malleable.get(cluster_name)
+        if not runners:
+            return []
+        return [runner for runner in runners if runner.is_running]
 
     def running_jobs(self) -> List[Job]:
         """Jobs currently executing."""
@@ -390,11 +388,27 @@ class KoalaScheduler:
     def job_started(self, job: Job) -> None:
         """A runner reports that *job*'s application is now executing."""
         self._running[job.job_id] = job
+        runner = self._runners[job.job_id]
+        if isinstance(runner, MalleableRunner):
+            self._running_malleable.setdefault(runner.cluster_name, []).append(runner)
         self.emit(JobStarted(self.env.now, job))
+
+    def _forget_running(self, job: Job) -> None:
+        """Drop *job* from the running views (both the map and the index)."""
+        if self._running.pop(job.job_id, None) is None:
+            return
+        runner = self._runners.get(job.job_id)
+        if isinstance(runner, MalleableRunner):
+            runners = self._running_malleable.get(runner.cluster_name)
+            if runners is not None:
+                try:
+                    runners.remove(runner)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
 
     def job_finished(self, job: Job, record: ExecutionRecord) -> None:
         """A runner reports that *job* finished; its processors are free again."""
-        self._running.pop(job.job_id, None)
+        self._forget_running(job)
         self.finished.append(job)
         self.records[job.job_id] = record
         # Processors became available: a job-management trigger (via hooks).
@@ -402,7 +416,7 @@ class KoalaScheduler:
 
     def job_failed(self, job: Job, reason: str) -> None:
         """A runner reports that it definitively gave up on *job*."""
-        self._running.pop(job.job_id, None)
+        self._forget_running(job)
         if job not in self.failed:
             self._abandon(job, reason)
         self.emit(JobEnded(self.env.now, job, failed=True, reason=reason))

@@ -5,17 +5,30 @@ share: it keeps the current simulated time, a heap of scheduled events and
 the currently active process.  Everything else (clusters, schedulers,
 applications) is expressed in terms of processes and events bound to an
 environment.
+
+Fast path
+---------
+The run loop is the hottest code of the whole project (a full-size figure run
+processes hundreds of thousands of events), so :meth:`Environment.run` inlines
+the work of :meth:`Environment.step` with every lookup hoisted into a local,
+and the environment recycles :class:`~repro.sim.events.Timeout` instances
+through a free list (see :meth:`timeout`).  A timeout is recycled — object
+*and* callback list — only when its sole executed callback was a process
+resumption, i.e. it was produced by the ubiquitous ``yield env.timeout(d)``
+pattern, in which no reference to the event survives the resumption.
+Timeouts waited on by conditions, interrupted sleeps or ``run(until=...)``
+stop events are never recycled.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from itertools import count
 from math import inf
 from typing import Any, Iterable, Optional, Union
 
 from repro.sim.events import (
     NORMAL,
+    PENDING,
     URGENT,
     AllOf,
     AnyOf,
@@ -23,6 +36,10 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process, ProcessGenerator
+
+#: The underlying function of ``Process._resume`` bound methods; used to
+#: recognise "plain process sleep" timeouts that are safe to recycle.
+_PROCESS_RESUME = Process._resume
 
 
 class EmptySchedule(Exception):
@@ -68,8 +85,11 @@ class Environment:
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = count()
+        self._eid: int = 0
         self._active_process: Optional[Process] = None
+        #: Free list of recycled plain-sleep timeouts (see module docstring).
+        self._timeout_pool: list[Timeout] = []
+        self._events_processed: int = 0
 
     # -- basic accessors -------------------------------------------------
 
@@ -83,6 +103,15 @@ class Environment:
         """The process whose generator is currently executing (if any)."""
         return self._active_process
 
+    @property
+    def processed_events(self) -> int:
+        """Total number of events this environment has processed so far.
+
+        Maintained by the run loop; the benchmark subsystem divides it by
+        wall-clock time to report events/second.
+        """
+        return self._events_processed
+
     # -- event factories -------------------------------------------------
 
     def process(self, generator: ProcessGenerator) -> Process:
@@ -90,7 +119,28 @@ class Environment:
         return Process(self, generator)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Return an event that triggers after *delay* time units."""
+        """Return an event that triggers after *delay* time units.
+
+        Served from the environment's timeout free list when possible, so the
+        dominant ``yield env.timeout(d)`` pattern allocates no event object
+        and no callback list in steady state.  The flip side of recycling:
+        do not retain a reference to a plain-sleep timeout past the yield
+        that waits on it — once it has resumed its process, the object may be
+        reused for a later timeout.  (Timeouts waited on by conditions,
+        ``run(until=...)`` or interrupted sleeps are never recycled.)
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            event = pool.pop()
+            event._delay = delay
+            event._ok = True
+            event._value = value
+            event.defused = False
+            self._eid = eid = self._eid + 1
+            heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+            return event
         return Timeout(self, delay, value)
 
     def event(self) -> Event:
@@ -113,7 +163,8 @@ class Environment:
         Events scheduled for the same time are processed in priority order
         (lower first), then in insertion order.
         """
-        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Return the time of the next scheduled event, or ``inf`` if none."""
@@ -132,19 +183,35 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
         if callbacks is None:  # pragma: no cover - defensive
             return
+        event.callbacks = None
+        self._events_processed += 1
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not event.defused:
+        if event._ok:
+            self._maybe_recycle(event, callbacks)
+        elif not event.defused:
             # An event failed and nobody handled it: surface the error so the
             # simulation does not silently swallow programming mistakes.
             exc = event._value
             if isinstance(exc, BaseException):
                 raise exc
             raise RuntimeError(f"event {event!r} failed with non-exception {exc!r}")
+
+    def _maybe_recycle(self, event: Event, callbacks: list) -> None:
+        """Recycle a processed plain-sleep timeout (see module docstring)."""
+        if (
+            type(event) is Timeout
+            and len(callbacks) == 1
+            and getattr(callbacks[0], "__func__", None) is _PROCESS_RESUME
+        ):
+            callbacks.clear()
+            event.callbacks = callbacks  # reuse the emptied list next time
+            event._value = PENDING
+            self._timeout_pool.append(event)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -187,15 +254,56 @@ class Environment:
                 stop_event.callbacks.append(StopSimulation.callback)
                 self.schedule(stop_event, priority=URGENT, delay=at - self._now)
 
+        # Inlined event loop: identical semantics to repeated ``step()``
+        # calls, with every per-event lookup hoisted into a local.
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heappop
+        pending = PENDING
+        timeout_cls = Timeout
+        resume_func = _PROCESS_RESUME
+        processed = 0
         try:
             while True:
-                self.step()
+                try:
+                    item = pop(queue)
+                except IndexError:
+                    if stop_event is not None and not stop_event.triggered:
+                        raise RuntimeError(
+                            f"no scheduled events left but the until event "
+                            f"{stop_event!r} was never triggered"
+                        ) from None
+                    return None
+                self._now = item[0]
+                event = item[3]
+                callbacks = event.callbacks
+                if callbacks is None:  # pragma: no cover - defensive
+                    continue
+                event.callbacks = None
+                processed += 1
+                for callback in callbacks:
+                    callback(event)
+
+                if event._ok:
+                    # Recycle plain process sleeps: one executed callback,
+                    # and that callback was a ``Process._resume``.
+                    if (
+                        type(event) is timeout_cls
+                        and len(callbacks) == 1
+                        and getattr(callbacks[0], "__func__", None) is resume_func
+                    ):
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = pending
+                        pool.append(event)
+                elif not event.defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise RuntimeError(
+                        f"event {event!r} failed with non-exception {exc!r}"
+                    )
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
-        except EmptySchedule:
-            if stop_event is not None and not stop_event.triggered:
-                raise RuntimeError(
-                    f"no scheduled events left but the until event {stop_event!r} "
-                    "was never triggered"
-                ) from None
-            return None
+        finally:
+            self._events_processed += processed

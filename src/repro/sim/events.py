@@ -183,11 +183,17 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Timeouts are the most allocated event of a simulation run: the
+        # fields are set inline (no ``super().__init__`` / ``env.schedule``
+        # call chain), and already-fired plain sleeps are recycled through
+        # ``Environment.timeout`` without re-entering this constructor.
+        self.env = env
+        self.callbacks = []
         self._delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self.defused = False
+        env.schedule(self, NORMAL, delay)
 
     @property
     def delay(self) -> float:
@@ -201,11 +207,12 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: Any) -> None:
-        super().__init__(env)
+        self.env = env
         self._ok = True
         self._value = None
-        self.callbacks = [process._resume]
-        env.schedule(self, priority=URGENT)
+        self.callbacks = [process._resume_cb]
+        self.defused = False
+        env.schedule(self, URGENT)
 
 
 class ConditionValue:
@@ -277,21 +284,43 @@ class Condition(Event):
     ) -> None:
         super().__init__(env)
         self._evaluate = evaluate
-        self._events = list(events)
+        self._events = events = list(events)
         self._count = 0
 
-        for event in self._events:
+        for event in events:
             if event.env is not env:
                 raise ValueError("all events of a condition must share an environment")
 
-        # Immediately check for already-processed events.
-        for event in self._events:
+        # Batched evaluation of the initial state: already-processed
+        # sub-events are counted in a single in-order pass (one evaluation
+        # per counted event, exactly as the callback path would have done),
+        # and a single cached bound method is registered on each pending
+        # sub-event.  Once the condition has triggered, the remaining
+        # sub-events need no callbacks at all — a late ``_check`` would be a
+        # no-op anyway.
+        check = self._check
+        count = 0
+        for event in events:
             if event.callbacks is None:
-                self._check(event)
+                count += 1
+                self._count = count
+                if not event._ok:
+                    event.defused = True
+                    self._ok = False
+                    self._value = event._value
+                    env.schedule(self)
+                    break
+                if evaluate(events, count):
+                    self._ok = True
+                    condition_value = ConditionValue()
+                    self._populate_value(condition_value)
+                    self._value = condition_value
+                    env.schedule(self)
+                    break
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
-        if not self._events and self._value is PENDING:
+        if not events and self._value is PENDING:
             # An empty condition is trivially satisfied.
             self.succeed(ConditionValue())
 
@@ -346,6 +375,24 @@ class AllOf(Condition):
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
+    def _check(self, event: Event) -> None:
+        # Specialised dispatch: compare the trigger count against the event
+        # count directly instead of going through the ``_evaluate`` callable.
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self._ok = False
+            self._value = event._value
+            self.env.schedule(self)
+        elif self._count == len(self._events):
+            self._ok = True
+            condition_value = ConditionValue()
+            self._populate_value(condition_value)
+            self._value = condition_value
+            self.env.schedule(self)
+
 
 class AnyOf(Condition):
     """Condition satisfied when *any* of the given events has succeeded."""
@@ -354,3 +401,19 @@ class AnyOf(Condition):
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)
+
+    def _check(self, event: Event) -> None:
+        # Specialised dispatch: the first triggered sub-event decides.
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self._ok = False
+            self._value = event._value
+        else:
+            self._ok = True
+            condition_value = ConditionValue()
+            self._populate_value(condition_value)
+            self._value = condition_value
+        self.env.schedule(self)

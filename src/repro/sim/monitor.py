@@ -22,30 +22,44 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 
-@dataclass
 class TimeSeries:
     """A right-continuous step function sampled at change points.
 
     ``record(t, v)`` appends an observation meaning "from time *t* onwards the
     value is *v* (until the next observation)".
+
+    ``record`` sits on the accumulation fast path (three series per cluster
+    are updated on every allocate/release), so the class is slotted and the
+    method touches each list once.
     """
 
-    name: str = ""
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    __slots__ = ("name", "times", "values")
+
+    def __init__(
+        self,
+        name: str = "",
+        times: Optional[List[float]] = None,
+        values: Optional[List[float]] = None,
+    ) -> None:
+        self.name = name
+        self.times: List[float] = [] if times is None else list(times)
+        self.values: List[float] = [] if values is None else list(values)
 
     def record(self, time: float, value: float) -> None:
         """Record that the series takes *value* from *time* onwards."""
-        if self.times and time < self.times[-1]:
-            raise ValueError(
-                f"observations must be recorded in time order "
-                f"(got {time} after {self.times[-1]})"
-            )
-        if self.times and time == self.times[-1]:
-            # Same-instant update: keep the latest value only.
-            self.values[-1] = value
-            return
-        self.times.append(float(time))
+        times = self.times
+        if times:
+            last = times[-1]
+            if time < last:
+                raise ValueError(
+                    f"observations must be recorded in time order "
+                    f"(got {time} after {last})"
+                )
+            if time == last:
+                # Same-instant update: keep the latest value only.
+                self.values[-1] = value
+                return
+        times.append(float(time))
         self.values.append(float(value))
 
     def __len__(self) -> int:
@@ -91,21 +105,29 @@ class TimeSeries:
         return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
 
 
-@dataclass
 class Counter:
     """A monotonically increasing event counter with per-event timestamps."""
 
-    name: str = ""
-    times: List[float] = field(default_factory=list)
-    increments: List[float] = field(default_factory=list)
+    __slots__ = ("name", "times", "increments")
+
+    def __init__(
+        self,
+        name: str = "",
+        times: Optional[List[float]] = None,
+        increments: Optional[List[float]] = None,
+    ) -> None:
+        self.name = name
+        self.times: List[float] = [] if times is None else list(times)
+        self.increments: List[float] = [] if increments is None else list(increments)
 
     def increment(self, time: float, amount: float = 1.0) -> None:
         """Record *amount* new occurrences at *time*."""
         if amount < 0:
             raise ValueError("counter increments must be non-negative")
-        if self.times and time < self.times[-1]:
+        times = self.times
+        if times and time < times[-1]:
             raise ValueError("counter increments must be recorded in time order")
-        self.times.append(float(time))
+        times.append(float(time))
         self.increments.append(float(amount))
 
     @property

@@ -40,13 +40,17 @@ class Process(Event):
     into the generator at its current yield point.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "throw"):
             raise ValueError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        #: Cached bound method: ``_resume`` is registered as a callback once
+        #: per event the process waits on, so creating the bound method once
+        #: here avoids an allocation per scheduling round-trip.
+        self._resume_cb = self._resume
         #: The event this process is currently waiting for (initially the
         #: internal :class:`Initialize` event, ``None`` after termination).
         self._target: Optional[Event] = Initialize(env, self)
@@ -88,26 +92,28 @@ class Process(Event):
         # Swap the process' resume callback onto the interrupt event.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - defensive
                 pass
-        interrupt_event.callbacks = [self._resume]
+        interrupt_event.callbacks = [self._resume_cb]
 
     def _resume(self, event: Event) -> None:
         """Resume the generator with the value (or exception) of *event*."""
         env = self.env
         env._active_process = self
+        generator = self._generator
+        send = generator.send
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The event failed: mark it as handled and throw the
                     # exception into the generator.
                     event.defused = True
                     exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
                 # Process finished successfully.
                 event = None  # type: ignore[assignment]
@@ -126,7 +132,7 @@ class Process(Event):
 
             # The generator yielded a new event to wait for.
             if not isinstance(next_event, Event):
-                self._generator.throw(
+                generator.throw(
                     TypeError(
                         f"process {self.name} yielded {next_event!r}, "
                         "which is not an Event"
@@ -134,9 +140,10 @@ class Process(Event):
                 )
                 continue
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Event not yet processed: register and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_event
                 break
 

@@ -3,51 +3,41 @@
 
 Grid and parallel workload archives distribute job traces in the Standard
 Workload Format (SWF).  This example shows the "what if these jobs had been
-malleable?" experiment: it takes an SWF trace (a bundled synthetic sample by
+malleable?" experiment using the trace subsystem end-to-end: it takes a
+named trace (the bundled deterministic ``das3-synthetic`` generator by
 default, or any real archive file you point it at), replays it twice through
-the simulated KOALA scheduler — once with the jobs rigid as recorded, once
-with the same jobs made malleable between 2 processors and their recorded
-request — and compares the outcomes.
+the simulated KOALA scheduler — once rigid as recorded, once with the same
+jobs made malleable between 2 processors and their recorded request — and
+compares the outcomes.
+
+The replays run through :class:`repro.workloads.StreamingWorkload`, the
+flat-memory streaming path: job specifications are generated while the
+simulation consumes them, so the same script replays a 100k-job archive
+trace without materialising it.
 
 Run it with::
 
-    python examples/trace_replay.py                      # bundled sample
+    python examples/trace_replay.py                          # bundled trace
     python examples/trace_replay.py --trace path/to.swf --max-jobs 200
+    python examples/trace_replay.py --load-factor 2          # double the load
+
+(The same comparison is available declaratively: ``repro-cli run
+trace-replay`` sweeps malleability policies over a trace, and ``repro-cli
+list-traces`` shows what can be replayed.)
 """
 
 from __future__ import annotations
 
 import argparse
-import io
 
 from repro.experiments.setup import ExperimentConfig, build_system
 from repro.metrics import ExperimentMetrics, format_table
 from repro.sim import Environment, RandomStreams
-from repro.workloads import SwfReader, WorkloadSubmitter, workload_from_swf
-
-#: A small synthetic SWF sample (job number, submit, wait, runtime, allocated
-#: processors, ..., requested processors, ...) used when no trace is given.
-SAMPLE_TRACE = """\
-; Synthetic sample in Standard Workload Format
-; MaxNodes: 272
-"""
-# Generate a plausible little trace programmatically: 40 jobs, irregular
-# arrivals, sizes 2-24, runtimes 3-20 minutes.
-_sample_lines = []
-_time = 0
-for i in range(1, 41):
-    _time += 60 + (i * 37) % 120
-    size = 2 + (i * 7) % 23
-    runtime = 180 + (i * 53) % 1020
-    _sample_lines.append(
-        f"{i} {_time} -1 {runtime} {size} -1 -1 {size} {runtime} -1 1 1 1 "
-        f"{1 + i % 2} 0 1 -1 -1"
-    )
-SAMPLE_TRACE += "\n".join(_sample_lines) + "\n"
+from repro.workloads import StreamingWorkload, TraceRef, WorkloadSubmitter
 
 
 def replay(workload, *, label: str, seed: int) -> ExperimentMetrics:
-    """Replay one workload specification through a freshly built system.
+    """Replay one workload through a freshly built system.
 
     The DAS-3 carries a substantial background load (75% of each cluster), so
     large rigid jobs often have to wait for enough free processors, while
@@ -66,37 +56,47 @@ def replay(workload, *, label: str, seed: int) -> ExperimentMetrics:
     streams = RandomStreams(seed=seed)
     multicluster, scheduler = build_system(config, env, streams)
     WorkloadSubmitter(env, scheduler, workload)
-    horizon = workload.duration + 100_000
-    env.run(until=horizon)
+    # The workload streams, so its duration is unknown upfront: run in
+    # chunks until the horizon stops moving and the scheduler drains.
+    while True:
+        env.run(until=env.now + 50_000)
+        if env.now >= workload.duration + 100_000:
+            break
     return ExperimentMetrics.from_run(scheduler, multicluster, label=label)
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trace", help="path to an SWF trace (default: bundled sample)")
+    parser.add_argument(
+        "--trace",
+        default="das3-synthetic",
+        help="trace name or .swf path (see repro-cli list-traces)",
+    )
     parser.add_argument("--max-jobs", type=int, default=100, help="cap on replayed jobs")
+    parser.add_argument(
+        "--load-factor", type=float, default=None, help="compress arrivals by this factor"
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    reader = SwfReader()
-    if args.trace:
-        records = reader.read(args.trace)
-        source = args.trace
-    else:
-        records = reader.read(io.StringIO(SAMPLE_TRACE))
-        source = "bundled synthetic sample"
-    print(f"Read {len(records)} SWF records from {source}")
+    params = {"max_procs": 85}
+    if args.load_factor is not None:
+        params["load_factor"] = args.load_factor
 
-    rigid_workload = workload_from_swf(
-        records, name="swf-rigid", malleable=False, max_jobs=args.max_jobs
-    )
-    malleable_workload = workload_from_swf(
-        records, name="swf-malleable", malleable=True, minimum_processors=2,
-        max_jobs=args.max_jobs,
-    )
+    def reference(malleable: float) -> str:
+        return TraceRef(args.trace, {**params, "malleable": malleable}).canonical()
 
-    rigid = replay(rigid_workload, label="rigid", seed=args.seed)
-    malleable = replay(malleable_workload, label="malleable", seed=args.seed)
+    rigid = replay(
+        StreamingWorkload.from_reference(reference(0.0), job_count=args.max_jobs),
+        label="rigid",
+        seed=args.seed,
+    )
+    malleable = replay(
+        StreamingWorkload.from_reference(reference(1.0), job_count=args.max_jobs),
+        label="malleable",
+        seed=args.seed,
+    )
+    print(f"Replayed {rigid.job_count} jobs of trace {args.trace!r} (streaming)")
 
     def row(metrics: ExperimentMetrics):
         summary = metrics.summary()

@@ -49,8 +49,9 @@ from repro.bench.runner import (
 JOBS_ENV = "REPRO_BENCH_JOBS"
 SEED_ENV = "REPRO_BENCH_SEED"
 
-#: Scenario benchmarked when none is named.
-DEFAULT_SCENARIOS = ("figure7",)
+#: Scenarios benchmarked when none is named: the paper's central sweep plus
+#: the trace-replay path (which exercises SWF ingestion + transformation).
+DEFAULT_SCENARIOS = ("figure7", "trace-replay")
 
 #: Default job count for benchmark runs: large enough for a stable signal,
 #: small enough for a CI gate on every PR.

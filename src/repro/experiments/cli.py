@@ -41,6 +41,18 @@ Policies registered in your own module are available to every command after
 ``--policy-module``::
 
     repro-cli --policy-module my_policies list-policies
+
+Trace-driven workloads: list the available traces (the bundled deterministic
+DAS-3-style synthetic trace plus any ``.swf`` files in ``traces/`` or
+``$REPRO_TRACES_DIR``), replay one through the trace scenarios, or point any
+run at a trace with transformations::
+
+    repro-cli list-traces
+    repro-cli run trace-replay --job-count 60
+    repro-cli run --scenario trace-load-sweep --jobs 4
+    repro-cli run trace-replay --trace das3-synthetic --load-factor 2 \\
+        --trace-malleable 0.5 --trace-max-procs 85
+    repro-cli custom --trace path/to/archive.swf --policy EGS --job-count 200
 """
 
 from __future__ import annotations
@@ -105,6 +117,73 @@ def _import_policy_modules(modules: Sequence[str]) -> None:
     os.environ[POLICY_MODULES_ENV] = os.pathsep.join(merged)
 
 
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    """Options selecting a trace-driven workload and its transformations."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help="replay this trace (see list-traces; a .swf path also works) "
+        "instead of the configured workload",
+    )
+    parser.add_argument(
+        "--load-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="rescale the trace's inter-arrival gaps by 1/X (2 = double load)",
+    )
+    parser.add_argument(
+        "--trace-window",
+        default=None,
+        metavar="START:END",
+        help="replay only the records submitted in [START, END) seconds "
+        "of the trace's own clock (either side may be empty)",
+    )
+    parser.add_argument(
+        "--trace-max-procs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shrink per-job processor requests to at most N",
+    )
+    parser.add_argument(
+        "--trace-malleable",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of replayed jobs tagged malleable (default 1.0)",
+    )
+
+
+def _trace_reference(args: argparse.Namespace) -> Optional[str]:
+    """The canonical ``trace:`` workload reference the trace options ask for."""
+    trace_options = {
+        "load_factor": getattr(args, "load_factor", None),
+        "window": getattr(args, "trace_window", None),
+        "max_procs": getattr(args, "trace_max_procs", None),
+        "malleable": getattr(args, "trace_malleable", None),
+    }
+    trace = getattr(args, "trace", None)
+    if trace is None:
+        if any(value is not None for value in trace_options.values()):
+            raise ValueError(
+                "--load-factor/--trace-window/--trace-max-procs/--trace-malleable "
+                "require --trace"
+            )
+        return None
+    from repro.workloads.traces import TraceRef
+
+    ref = TraceRef.parse(trace)
+    params = dict(ref.params)
+    for key, value in trace_options.items():
+        if value is not None:
+            params[key] = value
+    # Validate now (trace exists, parameters well-formed): a bad reference
+    # must surface as an argument error, not a traceback mid-sweep.
+    return TraceRef(trace=ref.trace, params=params).validate().canonical()
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -117,6 +196,34 @@ def _non_negative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
     return value
+
+
+def _add_scenario_selector(parser: argparse.ArgumentParser) -> None:
+    """Scenario selection, positionally or via ``--scenario``."""
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario name (see list-scenarios)",
+    )
+    parser.add_argument(
+        "--scenario",
+        dest="scenario_option",
+        default=None,
+        help="scenario name (alternative to the positional argument)",
+    )
+
+
+def _selected_scenario(args: argparse.Namespace) -> str:
+    """The scenario both spellings agree on; raises ValueError otherwise."""
+    if not args.scenario and not args.scenario_option:
+        raise ValueError("a scenario is required (positional or --scenario)")
+    if args.scenario and args.scenario_option and args.scenario != args.scenario_option:
+        raise ValueError(
+            f"conflicting scenarios: {args.scenario!r} and --scenario "
+            f"{args.scenario_option!r}"
+        )
+    return args.scenario or args.scenario_option
 
 
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
@@ -182,17 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="list every registered policy (all kinds) with its parameters",
     )
 
+    subparsers.add_parser(
+        "list-traces",
+        help="list every available trace (registry + traces/ + $REPRO_TRACES_DIR)",
+    )
+
     run = subparsers.add_parser(
         "run", help="run a scenario and print its full figure/table report"
     )
-    run.add_argument("scenario", help="scenario name (see list-scenarios)")
+    _add_scenario_selector(run)
     _add_sweep_options(run)
+    _add_trace_options(run)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario's config grid and print the merged summary"
     )
-    sweep.add_argument("scenario", help="scenario name (see list-scenarios)")
+    _add_scenario_selector(sweep)
     _add_sweep_options(sweep)
+    _add_trace_options(sweep)
     sweep.add_argument(
         "--csv", action="store_true", help="emit per-job CSV (all runs concatenated)"
     )
@@ -200,7 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
     custom = subparsers.add_parser(
         "custom", help="run a single custom configuration outside any scenario"
     )
-    custom.add_argument("--workload", default="Wm", help="Wm, Wmr, W'm or W'mr")
+    custom.add_argument(
+        "--workload",
+        default="Wm",
+        help="Wm, Wmr, W'm, W'mr or a trace reference ('trace:das3-synthetic?load_factor=2')",
+    )
     custom.add_argument(
         "--policy", default="FPSMA", help="FPSMA, EGS, EQUIPARTITION, FOLDING or none"
     )
@@ -228,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     custom.add_argument("--seed", type=_non_negative_int, default=0)
     custom.add_argument("--threshold", type=_non_negative_int, default=0)
     custom.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
+    _add_trace_options(custom)
     return parser
 
 
@@ -238,9 +357,13 @@ def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
 
 
 def _overrides_from(args: argparse.Namespace) -> Optional[dict]:
+    overrides: dict = {}
     if args.threshold is not None:
-        return {"grow_threshold": args.threshold}
-    return None
+        overrides["grow_threshold"] = args.threshold
+    workload = _trace_reference(args)
+    if workload is not None:
+        overrides["workload"] = workload
+    return overrides or None
 
 
 def _list_policies_report() -> str:
@@ -262,6 +385,24 @@ def _list_policies_report() -> str:
         "Use a policy by name ('EGS'), with parameters ('EASY?reserve_depth=2'\n"
         "or --policy-arg reserve_depth=2), in configs, scenarios and this CLI.\n"
         "Register your own with @repro.policies.register and --policy-module."
+    )
+    return "\n".join(lines)
+
+
+def _list_traces_report() -> str:
+    from repro.workloads.traces import TRACES_DIR_ENV, known_traces, trace_directories
+
+    lines = ["Available traces:", ""]
+    for name, description in known_traces():
+        lines.append(f"  {name:<24} {description}")
+    searched = ", ".join(str(path) for path in trace_directories())
+    lines.append("")
+    lines.append(f"(.swf files are discovered in: {searched}; set ${TRACES_DIR_ENV} to add a directory)")
+    lines.append(
+        "Replay one with: repro-cli run trace-replay --trace <name> "
+        "[--load-factor X] [--trace-window A:B] [--trace-max-procs N] "
+        "[--trace-malleable F]\n"
+        "or as a workload anywhere: --workload 'trace:<name>?load_factor=2'"
     )
     return "\n".join(lines)
 
@@ -292,9 +433,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = _list_scenarios_report()
     elif args.command == "list-policies":
         report = _list_policies_report()
+    elif args.command == "list-traces":
+        report = _list_traces_report()
     elif args.command in ("run", "sweep"):
         try:
-            spec = get_scenario(args.scenario)
+            spec = get_scenario(_selected_scenario(args))
         except ValueError as error:
             parser.error(str(error))
             return 2  # pragma: no cover - parser.error raises
@@ -304,6 +447,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return 2  # pragma: no cover
             report = scenario_report(spec)
         else:
+            try:
+                overrides = _overrides_from(args)
+            except ValueError as error:
+                parser.error(str(error))
+                return 2  # pragma: no cover - parser.error raises
             results = run_scenario(
                 spec,
                 job_count=args.job_count,
@@ -311,7 +459,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 jobs=args.jobs,
                 cache=_cache_from(args),
                 refresh=args.refresh,
-                overrides=_overrides_from(args),
+                overrides=overrides,
             )
             if args.command == "run":
                 report = scenario_report(spec, results)
@@ -335,9 +483,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.placement_arg:
             placement = {"name": placement, "params": dict(args.placement_arg)}
         try:
+            workload = _trace_reference(args) or args.workload
             config = ExperimentConfig(
                 name="cli-custom",
-                workload=args.workload,
+                workload=workload,
                 job_count=args.job_count,
                 malleability_policy=policy,
                 approach=args.approach,

@@ -552,6 +552,75 @@ def average_steal_scenario(
     )
 
 
+def trace_replay_scenario(
+    *,
+    trace: str = "das3-synthetic",
+    policies: Sequence[Optional[str]] = ("FPSMA", "EGS", None),
+) -> ScenarioSpec:
+    """Replay a named trace under the paper's malleability policies.
+
+    The workload axis is a ``trace:`` reference resolved by the workload
+    registry, so the same sweep/cache/CLI machinery that runs the synthetic
+    paper workloads replays archive-style traces: the bundled deterministic
+    DAS-3-style synthetic trace by default, or any ``.swf`` file in
+    ``traces/`` / ``$REPRO_TRACES_DIR`` by name.
+    """
+    return ScenarioSpec(
+        name="trace-replay",
+        title="Trace replay - malleability policies on an SWF trace",
+        base={
+            "workload": f"trace:{trace}",
+            "approach": "PRA",
+            "placement_policy": "WF",
+        },
+        variants=tuple(
+            ScenarioVariant(
+                f"{policy or 'no-malleability'}/{trace}",
+                {
+                    "malleability_policy": policy,
+                    "name": f"trace-replay-{_slug(policy or 'none')}",
+                },
+            )
+            for policy in policies
+        ),
+        default_job_count=60,
+    )
+
+
+def trace_load_sweep_scenario(
+    *,
+    trace: str = "das3-synthetic",
+    load_factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    policy: str = "EGS",
+) -> ScenarioSpec:
+    """Sweep the load factor of a trace's arrival process under one policy.
+
+    Each variant replays the *same* trace with its inter-arrival gaps rescaled
+    (factor 2 = double load), the trace counterpart of the paper deriving
+    W'm from Wm by compressing arrivals.
+    """
+    return ScenarioSpec(
+        name="trace-load-sweep",
+        title="Trace replay - load-factor sweep of an SWF trace's arrivals",
+        base={
+            "malleability_policy": policy,
+            "approach": "PRA",
+            "placement_policy": "WF",
+        },
+        variants=tuple(
+            ScenarioVariant(
+                f"load={factor:g}x/{trace}",
+                {
+                    "workload": f"trace:{trace}?load_factor={factor:g}",
+                    "name": f"trace-load-{factor:g}",
+                },
+            )
+            for factor in load_factors
+        ),
+        default_job_count=60,
+    )
+
+
 def background_load_ablation_scenario(
     *, workload: str = "Wm", interarrivals: Sequence[float] = (float("inf"), 300.0, 60.0)
 ) -> ScenarioSpec:
@@ -602,5 +671,7 @@ for _factory in (
     background_load_ablation_scenario,
     backfilling_scenario,
     average_steal_scenario,
+    trace_replay_scenario,
+    trace_load_sweep_scenario,
 ):
     register_scenario(_factory())

@@ -183,7 +183,11 @@ class ExperimentConfig:
         Nested :class:`~repro.cluster.background.BackgroundLoadSpec` values
         are flattened to plain dicts; everything else is already a scalar.
         The representation is the cache key's input, so it must be complete:
-        every field that influences a run appears here.
+        every field that influences a run appears here.  For file-backed
+        trace workloads that includes a digest of the trace file itself —
+        the reference string alone would serve stale cached results after
+        the ``.swf`` file is edited.  (:meth:`from_dict` ignores the extra
+        key: it is derived, not a configuration field.)
         """
         data: Dict[str, Any] = {}
         for f in fields(self):
@@ -201,6 +205,12 @@ class ExperimentConfig:
                     for name, spec in sorted(value.items())
                 }
             data[f.name] = value
+        from repro.workloads.traces import is_trace_reference, trace_fingerprint
+
+        if is_trace_reference(self.workload):
+            fingerprint = trace_fingerprint(self.workload)
+            if fingerprint is not None:
+                data["workload_fingerprint"] = fingerprint
         return data
 
     @classmethod

@@ -12,8 +12,12 @@ applications of Section VI-A uniformly:
 :mod:`repro.workloads.generator` builds those workloads (and parameterised
 variants for the ablation studies); :mod:`repro.workloads.swf` reads and
 writes traces in the Standard Workload Format used by the Parallel Workloads
-Archive and the Grid Workloads Archive, so real archive traces can be
-replayed through the same machinery.
+Archive and the Grid Workloads Archive; :mod:`repro.workloads.traces` turns
+SWF traces into a full workload axis — a named trace registry (bundled
+deterministic DAS-3-style synthetic generator plus user-supplied ``.swf``
+files), composable streaming transforms (time windows, load factors,
+processor shrinking, malleability tagging) and ``trace:...`` workload
+references usable anywhere a workload name is.
 """
 
 from repro.workloads.spec import JobSpec, WorkloadSpec
@@ -28,26 +32,68 @@ from repro.workloads.generator import (
 from repro.workloads.registry import (
     build_named_workload,
     known_workloads,
+    register_prefix_resolver,
     register_workload,
     resolve_workload,
 )
-from repro.workloads.swf import SwfField, SwfJob, SwfReader, SwfWriter, workload_from_swf
+from repro.workloads.swf import (
+    SwfField,
+    SwfJob,
+    SwfReader,
+    SwfWriter,
+    iter_jobspecs,
+    workload_from_swf,
+)
+from repro.workloads.traces import (
+    HeadLimit,
+    LoadFactor,
+    ShrinkProcessors,
+    StreamingWorkload,
+    TimeWindow,
+    TraceRef,
+    apply_transforms,
+    build_trace_workload,
+    is_trace_reference,
+    known_traces,
+    open_trace,
+    register_trace,
+    stream_trace_jobspecs,
+    synthetic_das3_trace,
+    trace_fingerprint,
+)
 from repro.workloads.submission import WorkloadSubmitter
 
 __all__ = [
+    "HeadLimit",
     "JobSpec",
-    "build_named_workload",
-    "known_workloads",
-    "register_workload",
-    "resolve_workload",
+    "LoadFactor",
+    "ShrinkProcessors",
+    "StreamingWorkload",
     "SwfField",
     "SwfJob",
     "SwfReader",
     "SwfWriter",
+    "TimeWindow",
+    "TraceRef",
     "WorkloadGenerator",
     "WorkloadSpec",
     "WorkloadSubmitter",
+    "apply_transforms",
+    "build_named_workload",
+    "build_trace_workload",
+    "is_trace_reference",
+    "iter_jobspecs",
+    "known_traces",
+    "known_workloads",
+    "open_trace",
     "paper_workload",
+    "register_prefix_resolver",
+    "register_trace",
+    "register_workload",
+    "resolve_workload",
+    "stream_trace_jobspecs",
+    "synthetic_das3_trace",
+    "trace_fingerprint",
     "wm_prime_workload",
     "wm_workload",
     "wmr_prime_workload",

@@ -9,6 +9,11 @@ of editing the experiment runner.
 Names are normalised before lookup: primes may be written ``'`` or ``p`` and
 case is ignored, so ``W'm``, ``Wm'``, ``wmp`` and ``WPM`` all resolve to the
 same builder.
+
+Besides exact names, *prefix resolvers* handle whole families of workload
+names: :mod:`repro.workloads.traces` registers the ``trace:`` prefix, so a
+configuration's workload may be ``"trace:das3-synthetic?load_factor=2"`` and
+the experiment engine, cache and CLIs need no special casing.
 """
 
 from __future__ import annotations
@@ -33,6 +38,26 @@ _BUILDERS: Dict[str, WorkloadBuilder] = {}
 
 #: Normalised alias -> canonical name.
 _ALIASES: Dict[str, str] = {}
+
+#: Prefix -> resolver for families of workload names (e.g. ``trace:``).  A
+#: resolver receives the *full* workload name and the ``(rng, job_count)``
+#: builder arguments and returns the built spec.
+_PREFIX_RESOLVERS: Dict[str, WorkloadBuilder] = {}
+
+
+def register_prefix_resolver(
+    prefix: str, resolver: WorkloadBuilder, *, overwrite: bool = False
+) -> None:
+    """Route every workload name starting with *prefix* to *resolver*.
+
+    The resolver must accept ``(name, rng, *, job_count)`` and return a
+    :class:`~repro.workloads.spec.WorkloadSpec`.
+    """
+    if not prefix:
+        raise ValueError("prefix must be non-empty")
+    if not overwrite and prefix in _PREFIX_RESOLVERS:
+        raise ValueError(f"workload prefix {prefix!r} already registered")
+    _PREFIX_RESOLVERS[prefix] = resolver
 
 
 def _normalise(name: str) -> str:
@@ -73,16 +98,28 @@ def known_workloads() -> Tuple[str, ...]:
 def resolve_workload(name: str) -> WorkloadBuilder:
     """The builder registered for *name* (after normalisation).
 
+    Prefixed names (``trace:...``) resolve to a closure over their prefix
+    resolver, so callers need not distinguish the two registration styles.
+
     Raises
     ------
     ValueError
         If no workload is registered under that name.
     """
+    for prefix, resolver in _PREFIX_RESOLVERS.items():
+        if name.startswith(prefix):
+            return lambda rng, *, job_count, _resolver=resolver: _resolver(
+                name, rng, job_count=job_count
+            )
     try:
         return _BUILDERS[_ALIASES[_normalise(name)]]
     except KeyError:
         known = ", ".join(known_workloads())
-        raise ValueError(f"unknown workload {name!r}; known: {known}") from None
+        prefixes = ", ".join(f"{prefix}..." for prefix in _PREFIX_RESOLVERS)
+        raise ValueError(
+            f"unknown workload {name!r}; known: {known}"
+            + (f"; prefixes: {prefixes}" if prefixes else "")
+        ) from None
 
 
 def build_named_workload(

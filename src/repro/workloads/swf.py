@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Union
 
 from repro.koala.job import JobKind
 from repro.workloads.spec import JobSpec, WorkloadSpec
@@ -92,9 +92,30 @@ class SwfJob:
 
     @staticmethod
     def _format(value) -> str:
-        if isinstance(value, float) and value == int(value):
+        # float.is_integer() rather than == int(value): the latter raises on
+        # non-finite values, which must still serialise (and re-parse).
+        if isinstance(value, float) and value.is_integer():
             return str(int(value))
         return str(value)
+
+
+def _parse_number(text: str) -> Union[int, float]:
+    """Parse one SWF field: integer when possible, float otherwise.
+
+    Archive files are not uniform about number formatting — some tools emit
+    exponent notation (``1e3``, ``2E-1``) or explicit signs for fields that
+    are conceptually integral, so parsing must accept anything :func:`float`
+    accepts while keeping exact integers as :class:`int` (round-trips of
+    large job numbers must not go through floating point).
+    """
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"not a number in SWF field: {text!r}") from None
 
 
 class SwfReader:
@@ -114,20 +135,31 @@ class SwfReader:
         parts = stripped.split()
         if len(parts) < len(SwfField):
             raise ValueError(f"malformed SWF line (only {len(parts)} fields): {line!r}")
-        values = tuple(float(part) if "." in part else int(part) for part in parts[: len(SwfField)])
+        values = tuple(_parse_number(part) for part in parts[: len(SwfField)])
         return SwfJob(fields=values)
 
-    def read(self, source: Union[str, Path, TextIO, Iterable[str]]) -> List[SwfJob]:
-        """Read all job records from a path, file object or iterable of lines."""
+    def iter_records(
+        self, source: Union[str, Path, TextIO, Iterable[str]]
+    ) -> Iterator[SwfJob]:
+        """Lazily yield job records from a path, file object or line iterable.
+
+        This is the streaming ingestion path: one record is alive at a time,
+        so multi-hundred-thousand-job archive traces can be transformed and
+        replayed with flat memory.  Header comment lines encountered while
+        streaming accumulate in :attr:`header` as a side effect.
+        """
         if isinstance(source, (str, Path)):
             with open(source, "r", encoding="utf-8") as handle:
-                return self.read(handle)
-        jobs: List[SwfJob] = []
+                yield from self.iter_records(handle)
+                return
         for line in source:
             record = self.parse_line(line)
             if record is not None:
-                jobs.append(record)
-        return jobs
+                yield record
+
+    def read(self, source: Union[str, Path, TextIO, Iterable[str]]) -> List[SwfJob]:
+        """Read all job records from a path, file object or iterable of lines."""
+        return list(self.iter_records(source))
 
 
 class SwfWriter:
@@ -183,6 +215,110 @@ class SwfWriter:
         return records
 
 
+def iter_jobspecs(
+    records: Iterable[SwfJob],
+    *,
+    name: str = "swf",
+    profile_map: Optional[Dict[int, str]] = None,
+    default_profile: str = "gadget2",
+    malleable_fraction: float = 1.0,
+    malleable_seed: int = 0,
+    minimum_processors: int = 2,
+    max_jobs: Optional[int] = None,
+) -> Iterator[JobSpec]:
+    """Lazily convert SWF records into :class:`JobSpec` submissions.
+
+    This is the streaming counterpart of :func:`workload_from_swf`: records
+    flow through one at a time (invalid ones — zero runtime or processors —
+    are skipped, submit times are rebased to the first valid record), so an
+    arbitrarily long trace can be converted without materialising either the
+    record list or the job list.
+
+    *malleable_fraction* tags that fraction of the converted jobs as
+    malleable between *minimum_processors* and their recorded request; the
+    rest replay rigid at the recorded size.  The choice is drawn from a
+    dedicated generator seeded with *malleable_seed*, so it is deterministic,
+    independent of the experiment's other random streams, and stable under
+    ``max_jobs`` truncation (job *k* keeps its tag no matter where the
+    stream stops).
+    """
+    # Validate eagerly, not at first next(): a bad fraction must fail where
+    # the pipeline is built (e.g. at CLI-argument time), so the body below
+    # is delegated to an inner generator.
+    if not 0.0 <= malleable_fraction <= 1.0:
+        raise ValueError("malleable_fraction must lie in [0, 1]")
+    return _iter_jobspecs(
+        records,
+        name=name,
+        profile_map=profile_map,
+        default_profile=default_profile,
+        malleable_fraction=malleable_fraction,
+        malleable_seed=malleable_seed,
+        minimum_processors=minimum_processors,
+        max_jobs=max_jobs,
+    )
+
+
+def _iter_jobspecs(
+    records: Iterable[SwfJob],
+    *,
+    name: str,
+    profile_map: Optional[Dict[int, str]],
+    default_profile: str,
+    malleable_fraction: float,
+    malleable_seed: int,
+    minimum_processors: int,
+    max_jobs: Optional[int],
+) -> Iterator[JobSpec]:
+    import numpy as np
+
+    profile_map = profile_map or {}
+    rng = (
+        np.random.Generator(np.random.PCG64(malleable_seed))
+        if 0.0 < malleable_fraction < 1.0
+        else None
+    )
+    produced = 0
+    base_time: Optional[float] = None
+    for record in records:
+        if not record.valid:
+            continue
+        if max_jobs is not None and produced >= max_jobs:
+            break
+        if base_time is None:
+            base_time = record.submit_time
+        executable = int(record.fields[SwfField.EXECUTABLE])
+        profile_name = profile_map.get(executable, default_profile)
+        requested = record.requested_processors
+        malleable = (
+            malleable_fraction >= 1.0
+            if rng is None
+            else bool(rng.random() < malleable_fraction)
+        )
+        if malleable:
+            spec = JobSpec(
+                submit_time=record.submit_time - base_time,
+                profile_name=profile_name,
+                kind=JobKind.MALLEABLE,
+                initial_processors=min(minimum_processors, requested),
+                minimum_processors=min(minimum_processors, requested),
+                maximum_processors=max(requested, minimum_processors),
+                name=f"{name}-{record.job_number}",
+            )
+        else:
+            spec = JobSpec(
+                submit_time=record.submit_time - base_time,
+                profile_name=profile_name,
+                kind=JobKind.RIGID,
+                initial_processors=requested,
+                minimum_processors=requested,
+                maximum_processors=requested,
+                name=f"{name}-{record.job_number}",
+            )
+        produced += 1
+        yield spec
+
+
 def workload_from_swf(
     records: Iterable[SwfJob],
     *,
@@ -211,39 +347,19 @@ def workload_from_swf(
         Minimum size of malleable jobs.
     max_jobs:
         Cap on the number of jobs converted.
+
+    See :func:`iter_jobspecs` for the streaming path (and for tagging only a
+    *fraction* of the jobs malleable).
     """
-    profile_map = profile_map or {}
-    jobs: List[JobSpec] = []
-    base_time: Optional[float] = None
-    for record in records:
-        if not record.valid:
-            continue
-        if max_jobs is not None and len(jobs) >= max_jobs:
-            break
-        if base_time is None:
-            base_time = record.submit_time
-        executable = int(record.fields[SwfField.EXECUTABLE])
-        profile_name = profile_map.get(executable, default_profile)
-        requested = record.requested_processors
-        if malleable:
-            spec = JobSpec(
-                submit_time=record.submit_time - base_time,
-                profile_name=profile_name,
-                kind=JobKind.MALLEABLE,
-                initial_processors=min(minimum_processors, requested),
-                minimum_processors=min(minimum_processors, requested),
-                maximum_processors=max(requested, minimum_processors),
-                name=f"{name}-{record.job_number}",
-            )
-        else:
-            spec = JobSpec(
-                submit_time=record.submit_time - base_time,
-                profile_name=profile_name,
-                kind=JobKind.RIGID,
-                initial_processors=requested,
-                minimum_processors=requested,
-                maximum_processors=requested,
-                name=f"{name}-{record.job_number}",
-            )
-        jobs.append(spec)
+    jobs = list(
+        iter_jobspecs(
+            records,
+            name=name,
+            profile_map=profile_map,
+            default_profile=default_profile,
+            malleable_fraction=1.0 if malleable else 0.0,
+            minimum_processors=minimum_processors,
+            max_jobs=max_jobs,
+        )
+    )
     return WorkloadSpec(name=name, jobs=jobs, description="converted from SWF trace")

@@ -1,0 +1,652 @@
+"""Trace-driven workloads: named traces, streaming transforms, replay specs.
+
+The paper evaluates its policies on synthetic paper-shaped workloads; the
+standard way related schedulers are stressed further is replaying *traces* —
+recorded (or trace-shaped synthetic) job streams in the Standard Workload
+Format of the Parallel/Grid Workloads Archives.  This module turns the SWF
+reader into a full workload axis:
+
+* a **named trace registry** — a bundled deterministic DAS-3-style synthetic
+  generator (no large binary in the repository) plus any ``.swf`` files
+  dropped into a ``traces/`` directory (or ``$REPRO_TRACES_DIR``);
+* **composable streaming transforms** over SWF records — time-window
+  slicing, load-factor rescaling of the inter-arrival process,
+  processor-count shrinking to fit the modelled clusters — each an
+  ``Iterator[SwfJob] -> Iterator[SwfJob]`` so a 100k-job trace flows through
+  one record at a time;
+* **trace references** — ``"trace:das3-synthetic?load_factor=2&malleable=0.5"``
+  strings that name a trace plus its transformation pipeline.  References
+  are plain strings, so they travel through
+  :class:`~repro.experiments.setup.ExperimentConfig`, scenario variants,
+  the result cache and worker subprocesses exactly like the named synthetic
+  workloads (``build_named_workload`` resolves the ``trace:`` prefix via the
+  workload registry).
+
+The materialising path (:func:`build_trace_workload`) feeds the experiment
+engine, which needs an ordered :class:`~repro.workloads.spec.WorkloadSpec`;
+the streaming path (:func:`stream_trace_jobspecs`, :class:`StreamingWorkload`)
+replays arbitrarily long traces with flat ingestion memory.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.workloads.spec import JobSpec, WorkloadSpec
+from repro.workloads.swf import SwfField, SwfJob, iter_jobspecs
+
+#: Prefix of trace-backed workload names (``"trace:<name>?<params>"``).
+TRACE_PREFIX = "trace:"
+
+#: Environment variable naming an extra directory of user-supplied ``.swf`` files.
+TRACES_DIR_ENV = "REPRO_TRACES_DIR"
+
+#: Signature of a registered trace opener: keyword parameters -> record stream.
+TraceOpener = Callable[..., Iterator[SwfJob]]
+
+
+# ---------------------------------------------------------------------------
+# Streaming record transforms
+# ---------------------------------------------------------------------------
+
+
+def _with_field(record: SwfJob, index: int, value) -> SwfJob:
+    """A copy of *record* with one SWF field replaced."""
+    fields = list(record.fields)
+    fields[index] = value
+    return SwfJob(fields=tuple(fields))
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """Keep only the records submitted inside ``[start, end)`` seconds.
+
+    Slicing happens on the trace's own clock (before any rebasing), so a
+    window selects e.g. one recorded day out of a month-long archive trace.
+    ``None`` leaves that side unbounded.
+
+    The transform assumes the stream is ordered by submit time — the SWF
+    standard's guarantee — and stops reading the source at the first record
+    past ``end`` (the property that keeps windowed replay of a huge trace
+    lazy).  A trace with out-of-order submit times should be sorted before
+    windowing, or replayed with an unbounded ``end``.
+    """
+
+    start: Optional[float] = None
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start is not None and self.end is not None and self.end <= self.start:
+            raise ValueError("window end must be greater than start")
+
+    def __call__(self, records: Iterable[SwfJob]) -> Iterator[SwfJob]:
+        for record in records:
+            submitted = record.submit_time
+            if self.start is not None and submitted < self.start:
+                continue
+            if self.end is not None and submitted >= self.end:
+                # SWF traces are ordered by submit time, so nothing after
+                # the window can belong to it: stop reading the source.
+                break
+            yield record
+
+
+@dataclass(frozen=True)
+class LoadFactor:
+    """Rescale the inter-arrival process by a load factor.
+
+    A factor of 2 halves every gap between consecutive submissions (double
+    load), 0.5 doubles them (half load); runtimes and sizes are untouched.
+    This is the trace counterpart of the paper deriving W'm from Wm by
+    compressing arrivals.
+    """
+
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("load factor must be positive")
+
+    def __call__(self, records: Iterable[SwfJob]) -> Iterator[SwfJob]:
+        previous_in: Optional[float] = None
+        previous_out = 0.0
+        for record in records:
+            submitted = record.submit_time
+            if previous_in is None:
+                rescaled = submitted
+            else:
+                rescaled = previous_out + (submitted - previous_in) / self.factor
+            previous_in, previous_out = submitted, rescaled
+            yield _with_field(record, SwfField.SUBMIT_TIME, rescaled)
+
+
+@dataclass(frozen=True)
+class ShrinkProcessors:
+    """Clamp per-job processor requests to *maximum*.
+
+    Archive traces come from machines with other cluster sizes; shrinking
+    requests to the largest modelled cluster keeps every job placeable on the
+    simulated DAS-3 instead of silently never starting.
+    """
+
+    maximum: int
+
+    def __post_init__(self) -> None:
+        if self.maximum < 1:
+            raise ValueError("maximum processors must be at least 1")
+
+    def __call__(self, records: Iterable[SwfJob]) -> Iterator[SwfJob]:
+        for record in records:
+            requested = record.fields[SwfField.REQUESTED_PROCESSORS]
+            allocated = record.fields[SwfField.ALLOCATED_PROCESSORS]
+            if isinstance(requested, (int, float)) and requested > self.maximum:
+                record = _with_field(record, SwfField.REQUESTED_PROCESSORS, self.maximum)
+            if isinstance(allocated, (int, float)) and allocated > self.maximum:
+                record = _with_field(record, SwfField.ALLOCATED_PROCESSORS, self.maximum)
+            yield record
+
+
+@dataclass(frozen=True)
+class HeadLimit:
+    """Pass through only the first *count* records."""
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+    def __call__(self, records: Iterable[SwfJob]) -> Iterator[SwfJob]:
+        produced = 0
+        for record in records:
+            if produced >= self.count:
+                break
+            produced += 1
+            yield record
+
+
+#: A streaming record transform.
+TraceTransform = Callable[[Iterable[SwfJob]], Iterator[SwfJob]]
+
+
+def apply_transforms(
+    records: Iterable[SwfJob], transforms: Iterable[TraceTransform]
+) -> Iterator[SwfJob]:
+    """Chain *transforms* over *records*, keeping everything lazy."""
+    stream: Iterable[SwfJob] = records
+    for transform in transforms:
+        stream = transform(stream)
+    return iter(stream)
+
+
+# ---------------------------------------------------------------------------
+# Bundled synthetic DAS-3-style trace
+# ---------------------------------------------------------------------------
+
+#: Default length of the bundled synthetic trace.
+SYNTHETIC_JOB_COUNT = 1000
+
+#: Largest DAS-3 cluster (VU, 85 nodes): the natural request ceiling.
+SYNTHETIC_MAX_PROCESSORS = 85
+
+
+def synthetic_das3_trace(
+    *,
+    jobs: int = SYNTHETIC_JOB_COUNT,
+    trace_seed: int = 2007,
+    interarrival: float = 90.0,
+    max_processors: int = SYNTHETIC_MAX_PROCESSORS,
+) -> Iterator[SwfJob]:
+    """A deterministic DAS-3-shaped synthetic trace, streamed record by record.
+
+    The shape follows what DAS grid traces look like in the workload
+    archives: Poisson arrivals, mostly power-of-two sizes with a tail of odd
+    requests, log-uniform runtimes from minutes to hours, and a small user
+    population.  Everything is drawn from one PCG64 stream seeded with
+    *trace_seed* only, so the same parameters always produce byte-identical
+    records — the trace behaves like committed data without committing a
+    large file.
+    """
+    # Validate eagerly (this is a plain function returning a generator, so
+    # bad parameters fail at pipeline-construction time, not at first next()).
+    if jobs < 0:
+        raise ValueError("jobs must be non-negative")
+    if interarrival <= 0:
+        raise ValueError("interarrival must be positive")
+    if max_processors < 1:
+        raise ValueError("max_processors must be at least 1")
+    return _synthetic_das3_records(
+        jobs=jobs,
+        trace_seed=trace_seed,
+        interarrival=interarrival,
+        max_processors=max_processors,
+    )
+
+
+def _synthetic_das3_records(
+    *, jobs: int, trace_seed: int, interarrival: float, max_processors: int
+) -> Iterator[SwfJob]:
+    import numpy as np
+
+    rng = np.random.Generator(np.random.PCG64(trace_seed))
+    sizes = [size for size in (1, 2, 4, 8, 16, 32, 64) if size <= max_processors]
+    time = 0.0
+    for number in range(1, jobs + 1):
+        time += float(rng.exponential(interarrival))
+        if rng.random() < 0.8:
+            requested = int(sizes[int(rng.integers(0, len(sizes)))])
+        else:
+            requested = int(rng.integers(1, max_processors + 1))
+        # Log-uniform runtimes: 2 minutes to 4 hours.
+        runtime = float(np.exp(rng.uniform(np.log(120.0), np.log(14400.0))))
+        fields = [0] * len(SwfField)
+        fields[SwfField.JOB_NUMBER] = number
+        fields[SwfField.SUBMIT_TIME] = round(time, 3)
+        fields[SwfField.WAIT_TIME] = -1
+        fields[SwfField.RUN_TIME] = round(runtime, 3)
+        fields[SwfField.ALLOCATED_PROCESSORS] = requested
+        fields[SwfField.AVERAGE_CPU_TIME] = -1
+        fields[SwfField.USED_MEMORY] = -1
+        fields[SwfField.REQUESTED_PROCESSORS] = requested
+        fields[SwfField.REQUESTED_TIME] = round(runtime * float(rng.uniform(1.0, 3.0)), 3)
+        fields[SwfField.REQUESTED_MEMORY] = -1
+        fields[SwfField.STATUS] = 1
+        fields[SwfField.USER_ID] = int(rng.integers(1, 40))
+        fields[SwfField.GROUP_ID] = int(rng.integers(1, 6))
+        fields[SwfField.EXECUTABLE] = int(rng.integers(1, 3))
+        fields[SwfField.QUEUE] = 0
+        fields[SwfField.PARTITION] = 1
+        fields[SwfField.PRECEDING_JOB] = -1
+        fields[SwfField.THINK_TIME] = -1
+        yield SwfJob(fields=tuple(fields))
+
+
+# ---------------------------------------------------------------------------
+# Named trace registry (+ .swf files from trace directories)
+# ---------------------------------------------------------------------------
+
+_TRACES: Dict[str, Tuple[TraceOpener, str]] = {}
+
+
+def register_trace(
+    name: str,
+    opener: TraceOpener,
+    *,
+    description: str = "",
+    overwrite: bool = False,
+) -> None:
+    """Register *opener* as the named trace *name*.
+
+    The opener receives the non-transform parameters of a trace reference as
+    keyword arguments (e.g. ``jobs=50000&trace_seed=1`` for the synthetic
+    generator) and returns an iterator of records.
+    """
+    key = name.lower()
+    if not overwrite and key in _TRACES:
+        raise ValueError(f"trace {name!r} already registered")
+    _TRACES[key] = (opener, description)
+
+
+def trace_directories() -> List[Path]:
+    """The directories searched for user-supplied ``.swf`` files, in order."""
+    directories: List[Path] = []
+    override = os.environ.get(TRACES_DIR_ENV)
+    if override:
+        directories.append(Path(override))
+    directories.append(Path("traces"))
+    return directories
+
+
+def _file_traces() -> Dict[str, Path]:
+    """Discovered ``<stem> -> path`` of the ``.swf`` files in the trace dirs."""
+    found: Dict[str, Path] = {}
+    for directory in trace_directories():
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("*.swf")):
+            found.setdefault(path.stem.lower(), path)
+    return found
+
+
+def known_traces() -> List[Tuple[str, str]]:
+    """``(name, description)`` of every available trace, registry first."""
+    entries = [(name, description) for name, (_, description) in sorted(_TRACES.items())]
+    for stem, path in sorted(_file_traces().items()):
+        if stem not in _TRACES:
+            entries.append((stem, f"SWF file {path}"))
+    return entries
+
+
+def open_trace(name: str, **params: Any) -> Iterator[SwfJob]:
+    """The record stream of trace *name* (registered, discovered, or a path).
+
+    Resolution order: registered openers, then ``<name>.swf`` in the trace
+    directories, then *name* interpreted as a filesystem path (so
+    ``trace:./my/run.swf`` replays an arbitrary file).  File traces accept no
+    opener parameters.
+    """
+    from repro.workloads.swf import SwfReader
+
+    key = name.lower()
+    if key in _TRACES:
+        opener, _ = _TRACES[key]
+        return opener(**params)
+    path = _file_traces().get(key)
+    if path is None:
+        candidate = Path(name)
+        if candidate.suffix == ".swf" or "/" in name or os.sep in name:
+            path = candidate
+    if path is not None and Path(path).is_file():
+        if params:
+            raise ValueError(
+                f"trace {name!r} is an SWF file and takes no opener parameters: "
+                f"{sorted(params)}"
+            )
+        return SwfReader().iter_records(path)
+    known = ", ".join(entry for entry, _ in known_traces()) or "(none)"
+    raise ValueError(f"unknown trace {name!r}; known: {known}")
+
+
+def trace_fingerprint(reference: str) -> Optional[str]:
+    """Content digest of a *file-backed* trace reference, ``None`` otherwise.
+
+    Registered traces are deterministic code, already covered by the
+    experiment engine's code-version digest; a user-supplied ``.swf`` file
+    is data the code digest cannot see, so its content hash must join the
+    result-cache key — otherwise editing the file silently serves results
+    computed from its old contents.  Malformed references return ``None``
+    (they fail later, at build time, with a better error).
+    """
+    import hashlib
+
+    try:
+        ref = TraceRef.parse(reference)
+    except ValueError:
+        return None
+    key = ref.trace.lower()
+    if key in _TRACES:
+        return None
+    path = _file_traces().get(key)
+    if path is None:
+        candidate = Path(ref.trace)
+        path = candidate if candidate.is_file() else None
+    if path is None or not Path(path).is_file():
+        return None
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+register_trace(
+    "das3-synthetic",
+    synthetic_das3_trace,
+    description=(
+        "bundled deterministic DAS-3-style synthetic trace "
+        "(params: jobs, trace_seed, interarrival, max_processors)"
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Trace references: "trace:<name>?<param>=<value>&..."
+# ---------------------------------------------------------------------------
+
+#: Transform/conversion parameters a trace reference may carry; everything
+#: else is forwarded to the trace opener.
+TRANSFORM_PARAMS = (
+    "window",
+    "load_factor",
+    "max_procs",
+    "malleable",
+    "malleable_seed",
+    "max_jobs",
+    "profile",
+)
+
+
+def _parse_value(text: str) -> Union[int, float, str]:
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    return text
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """A parsed trace reference: the trace name plus its pipeline parameters."""
+
+    trace: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, reference: str) -> "TraceRef":
+        """Parse ``"trace:<name>?k=v&k=v"`` (the prefix is optional here)."""
+        text = reference[len(TRACE_PREFIX):] if is_trace_reference(reference) else reference
+        name, _, query = text.partition("?")
+        if not name:
+            raise ValueError(f"empty trace name in reference {reference!r}")
+        params: Dict[str, Any] = {}
+        if query:
+            for part in query.split("&"):
+                key, separator, value = part.partition("=")
+                if not separator or not key:
+                    raise ValueError(
+                        f"malformed trace parameter {part!r} in {reference!r} "
+                        "(expected key=value)"
+                    )
+                params[key.strip()] = _parse_value(value.strip())
+        return cls(trace=name, params=params)
+
+    def canonical(self) -> str:
+        """The canonical reference string (sorted parameters, with prefix)."""
+        if not self.params:
+            return f"{TRACE_PREFIX}{self.trace}"
+        query = "&".join(f"{key}={self.params[key]}" for key in sorted(self.params))
+        return f"{TRACE_PREFIX}{self.trace}?{query}"
+
+    def opener_params(self) -> Dict[str, Any]:
+        """The parameters forwarded to the trace opener."""
+        return {
+            key: value
+            for key, value in self.params.items()
+            if key not in TRANSFORM_PARAMS
+        }
+
+    def transforms(self) -> List[TraceTransform]:
+        """The record transforms this reference asks for, in pipeline order."""
+        transforms: List[TraceTransform] = []
+        window = self.params.get("window")
+        if window is not None:
+            start_text, separator, end_text = str(window).partition(":")
+            if not separator:
+                raise ValueError(
+                    f"window must be 'start:end' (either side optional), got {window!r}"
+                )
+            transforms.append(
+                TimeWindow(
+                    start=float(start_text) if start_text else None,
+                    end=float(end_text) if end_text else None,
+                )
+            )
+        load_factor = self.params.get("load_factor")
+        if load_factor is not None:
+            transforms.append(LoadFactor(float(load_factor)))
+        max_procs = self.params.get("max_procs")
+        if max_procs is not None:
+            transforms.append(ShrinkProcessors(int(max_procs)))
+        max_jobs = self.params.get("max_jobs")
+        if max_jobs is not None:
+            transforms.append(HeadLimit(int(max_jobs)))
+        return transforms
+
+    def validate(self) -> "TraceRef":
+        """Fail fast on anything wrong with this reference.
+
+        Checks that the trace exists, the opener accepts the forwarded
+        parameters, every transform parameter is well-formed and the
+        malleable fraction lies in ``[0, 1]`` — without pulling a single
+        record.  Raises :class:`ValueError` with a pointed message, so CLIs
+        can report bad references as argument errors instead of tracebacks.
+        """
+        try:
+            open_trace(self.trace, **self.opener_params())
+        except TypeError as error:
+            raise ValueError(
+                f"trace {self.trace!r} rejected parameters "
+                f"{sorted(self.opener_params())}: {error}"
+            ) from None
+        self.transforms()
+        fraction = float(self.params.get("malleable", 1.0))
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"malleable fraction must lie in [0, 1], got {fraction:g}")
+        int(self.params.get("malleable_seed", 0))
+        return self
+
+    def records(self) -> Iterator[SwfJob]:
+        """The transformed record stream of this reference."""
+        return apply_transforms(
+            open_trace(self.trace, **self.opener_params()), self.transforms()
+        )
+
+    def jobspecs(self, *, job_count: Optional[int] = None) -> Iterator[JobSpec]:
+        """The transformed stream converted to :class:`JobSpec` submissions.
+
+        *job_count* (the experiment layer's knob) caps the number of replayed
+        jobs on top of any ``max_jobs`` parameter of the reference itself.
+        """
+        return iter_jobspecs(
+            self.records(),
+            name=self.trace,
+            default_profile=str(self.params.get("profile", "gadget2")),
+            malleable_fraction=float(self.params.get("malleable", 1.0)),
+            malleable_seed=int(self.params.get("malleable_seed", 0)),
+            max_jobs=job_count,
+        )
+
+
+def is_trace_reference(name: str) -> bool:
+    """Whether a workload name refers to a trace (``trace:`` prefix)."""
+    return name.startswith(TRACE_PREFIX)
+
+
+def build_trace_workload(
+    reference: str, *, job_count: Optional[int] = None
+) -> WorkloadSpec:
+    """Materialise the trace *reference* into a :class:`WorkloadSpec`.
+
+    This is the path the experiment engine takes: a spec is ordered,
+    serialisable and has a known duration, which the sweep/cache machinery
+    relies on.  For flat-memory replay of very long traces use
+    :class:`StreamingWorkload` instead.
+    """
+    ref = TraceRef.parse(reference)
+    jobs = list(ref.jobspecs(job_count=job_count))
+    return WorkloadSpec(
+        name=ref.canonical(),
+        jobs=jobs,
+        description=f"trace replay of {ref.trace} ({len(jobs)} jobs)",
+    )
+
+
+def stream_trace_jobspecs(
+    reference: str, *, job_count: Optional[int] = None
+) -> Iterator[JobSpec]:
+    """The lazy :class:`JobSpec` stream of a trace *reference*."""
+    return TraceRef.parse(reference).jobspecs(job_count=job_count)
+
+
+class StreamingWorkload:
+    """A workload that generates its job specifications while being replayed.
+
+    Quacks like :class:`~repro.workloads.spec.WorkloadSpec` where the
+    submission machinery needs it (iteration, ``name``, ``duration``) without
+    ever holding more than one :class:`JobSpec` of its own — the streaming
+    replay path for traces far larger than memory.  ``duration`` reports the
+    last submit time seen so far (the true horizon once iteration finished),
+    and ``submitted_count`` the number of specs yielded.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterator[JobSpec]],
+        *,
+        name: str = "stream",
+        description: str = "",
+    ) -> None:
+        self._factory = factory
+        self.name = name
+        self.description = description
+        self._last_submit = 0.0
+        self._count = 0
+
+    @classmethod
+    def from_reference(
+        cls, reference: str, *, job_count: Optional[int] = None
+    ) -> "StreamingWorkload":
+        """A streaming workload replaying the trace *reference*."""
+        ref = TraceRef.parse(reference)
+        return cls(
+            lambda: ref.jobspecs(job_count=job_count),
+            name=ref.canonical(),
+            description=f"streaming trace replay of {ref.trace}",
+        )
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        self._last_submit = 0.0
+        self._count = 0
+        for spec in self._factory():
+            self._last_submit = spec.submit_time
+            self._count += 1
+            yield spec
+
+    @property
+    def duration(self) -> float:
+        """Last submit time streamed so far (the horizon after iteration)."""
+        return self._last_submit
+
+    @property
+    def submitted_count(self) -> int:
+        """Number of job specifications streamed so far."""
+        return self._count
+
+
+# ---------------------------------------------------------------------------
+# Workload-registry integration
+# ---------------------------------------------------------------------------
+
+
+def _trace_workload_resolver(name: str, rng, *, job_count: Optional[int] = None):
+    """Build a trace-backed workload for the registry's ``trace:`` prefix.
+
+    *rng* is deliberately unused: a trace is data, so the same reference and
+    job count produce the same workload regardless of the experiment seed
+    (the seed still drives the scheduler/background streams).
+    """
+    return build_trace_workload(name, job_count=job_count)
+
+
+def _register_with_workload_registry() -> None:
+    from repro.workloads.registry import register_prefix_resolver
+
+    register_prefix_resolver(TRACE_PREFIX, _trace_workload_resolver, overwrite=True)
+
+
+_register_with_workload_registry()

@@ -53,6 +53,41 @@ def test_reader_rejects_malformed_lines():
     assert reader.parse_line("; comment") is None
 
 
+def test_reader_parses_exponent_notation():
+    # Regression: "1e3" / "2E-1" have no "." so they used to hit int() and
+    # raise; any spelling float() accepts must parse.
+    line = "1 1e3 -1 2E-1 4 -1 -1 4 6.5e2 -1 1 5 1 1 0 1 -1 -1"
+    record = SwfReader().parse_line(line)
+    assert record is not None
+    assert record.submit_time == 1000.0
+    assert record.run_time == pytest.approx(0.2)
+    assert record.fields[8] == 650.0
+    # Plain integers still come back as exact ints, not floats.
+    assert record.fields[0] == 1 and isinstance(record.fields[0], int)
+
+
+def test_reader_rejects_non_numeric_fields():
+    reader = SwfReader()
+    with pytest.raises(ValueError, match="not a number"):
+        reader.parse_line("1 abc -1 300 4 -1 -1 4 600 -1 1 5 1 1 0 1 -1 -1")
+
+
+def test_exponent_records_survive_a_write_read_cycle():
+    line = "7 1e3 -1 2E-1 4 -1 -1 4 600 -1 1 5 1 1 0 1 -1 -1"
+    record = SwfReader().parse_line(line)
+    reparsed = SwfReader().parse_line(record.as_line())
+    assert reparsed.fields == record.fields
+
+
+def test_iter_records_streams_lazily():
+    lines = iter(SAMPLE_SWF.splitlines())
+    stream = SwfReader().iter_records(lines)
+    first = next(stream)
+    assert first.job_number == 1
+    # Only the consumed prefix of the source has been read.
+    assert next(lines).startswith("2 ")
+
+
 def test_swf_record_validation():
     with pytest.raises(ValueError):
         SwfJob(fields=(1, 2, 3))

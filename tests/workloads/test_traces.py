@@ -1,0 +1,338 @@
+"""Unit tests of the trace subsystem: transforms, registry, refs, streaming."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.koala import JobKind
+from repro.workloads import (
+    HeadLimit,
+    LoadFactor,
+    ShrinkProcessors,
+    StreamingWorkload,
+    SwfField,
+    SwfReader,
+    SwfWriter,
+    TimeWindow,
+    TraceRef,
+    apply_transforms,
+    build_named_workload,
+    build_trace_workload,
+    is_trace_reference,
+    iter_jobspecs,
+    known_traces,
+    open_trace,
+    register_trace,
+    stream_trace_jobspecs,
+    synthetic_das3_trace,
+)
+
+
+def make_records(submits, sizes=None, runtimes=None):
+    """Tiny valid SWF records at the given submit times."""
+    sizes = sizes or [4] * len(submits)
+    runtimes = runtimes or [600] * len(submits)
+    records = []
+    for index, (submit, size, runtime) in enumerate(zip(submits, sizes, runtimes), 1):
+        fields = [0] * len(SwfField)
+        fields[SwfField.JOB_NUMBER] = index
+        fields[SwfField.SUBMIT_TIME] = submit
+        fields[SwfField.RUN_TIME] = runtime
+        fields[SwfField.ALLOCATED_PROCESSORS] = size
+        fields[SwfField.REQUESTED_PROCESSORS] = size
+        fields[SwfField.STATUS] = 1
+        fields[SwfField.EXECUTABLE] = 1
+        records.append(SwfReader().parse_line(" ".join(str(f) for f in fields)))
+    return records
+
+
+# -- transforms ---------------------------------------------------------------
+
+
+def test_time_window_slices_on_the_trace_clock():
+    records = make_records([0, 100, 200, 300, 400])
+    kept = list(TimeWindow(start=100, end=300)(iter(records)))
+    assert [r.submit_time for r in kept] == [100, 200]
+
+
+def test_time_window_stops_reading_after_the_end():
+    # The source is a generator; passing the window end must stop consuming it.
+    consumed = []
+
+    def source():
+        for record in make_records([0, 100, 200, 300]):
+            consumed.append(record.submit_time)
+            yield record
+
+    list(TimeWindow(end=150)(source()))
+    assert consumed == [0, 100, 200]  # 300 never read
+
+
+def test_time_window_validates_bounds():
+    with pytest.raises(ValueError):
+        TimeWindow(start=10, end=10)
+
+
+def test_load_factor_rescales_gaps_not_absolute_times():
+    records = make_records([1000, 1100, 1300])
+    rescaled = list(LoadFactor(2.0)(iter(records)))
+    # First submission keeps its time; gaps of 100 and 200 halve to 50 and 100.
+    assert [r.submit_time for r in rescaled] == [1000, 1050, 1150]
+    relaxed = list(LoadFactor(0.5)(iter(records)))
+    assert [r.submit_time for r in relaxed] == [1000, 1200, 1600]
+
+
+def test_load_factor_rejects_non_positive():
+    with pytest.raises(ValueError):
+        LoadFactor(0.0)
+
+
+def test_shrink_processors_caps_requests():
+    records = make_records([0, 10], sizes=[128, 8])
+    shrunk = list(ShrinkProcessors(85)(iter(records)))
+    assert [r.requested_processors for r in shrunk] == [85, 8]
+    assert shrunk[0].fields[SwfField.ALLOCATED_PROCESSORS] == 85
+
+
+def test_head_limit_truncates_lazily():
+    infinite = synthetic_das3_trace(jobs=10_000)
+    assert len(list(HeadLimit(7)(infinite))) == 7
+
+
+def test_transforms_compose_in_order():
+    records = make_records([0, 100, 200, 300], sizes=[128, 4, 64, 8])
+    out = list(
+        apply_transforms(
+            iter(records), [TimeWindow(end=250), LoadFactor(2.0), ShrinkProcessors(50)]
+        )
+    )
+    assert [r.submit_time for r in out] == [0, 50, 100]
+    assert [r.requested_processors for r in out] == [50, 4, 50]
+
+
+# -- malleable-fraction tagging ----------------------------------------------
+
+
+def test_iter_jobspecs_tags_a_deterministic_fraction_malleable():
+    records = make_records(list(range(0, 2000, 10)))
+    specs_a = list(iter_jobspecs(iter(records), malleable_fraction=0.5, malleable_seed=3))
+    specs_b = list(iter_jobspecs(iter(records), malleable_fraction=0.5, malleable_seed=3))
+    kinds_a = [spec.kind for spec in specs_a]
+    assert kinds_a == [spec.kind for spec in specs_b]
+    malleable = sum(1 for kind in kinds_a if kind is JobKind.MALLEABLE)
+    assert 0 < malleable < len(specs_a)
+    # A different seed re-deals the tags.
+    specs_c = list(iter_jobspecs(iter(records), malleable_fraction=0.5, malleable_seed=4))
+    assert kinds_a != [spec.kind for spec in specs_c]
+
+
+def test_iter_jobspecs_tags_are_stable_under_truncation():
+    records = make_records(list(range(0, 500, 10)))
+    full = list(iter_jobspecs(iter(records), malleable_fraction=0.5, malleable_seed=1))
+    truncated = list(
+        iter_jobspecs(iter(records), malleable_fraction=0.5, malleable_seed=1, max_jobs=20)
+    )
+    assert [spec.kind for spec in truncated] == [spec.kind for spec in full[:20]]
+
+
+def test_iter_jobspecs_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        list(iter_jobspecs(iter([]), malleable_fraction=1.5))
+
+
+# -- synthetic trace and registry ---------------------------------------------
+
+
+def test_synthetic_trace_is_deterministic_and_streamable():
+    first = [r.fields for r in synthetic_das3_trace(jobs=50)]
+    second = [r.fields for r in synthetic_das3_trace(jobs=50)]
+    assert first == second
+    assert all(
+        1 <= r.requested_processors <= 85 and r.valid
+        for r in synthetic_das3_trace(jobs=50)
+    )
+    # A different trace seed is a different trace.
+    assert first != [r.fields for r in synthetic_das3_trace(jobs=50, trace_seed=1)]
+
+
+def test_synthetic_trace_round_trips_through_swf_text():
+    records = list(synthetic_das3_trace(jobs=20))
+    buffer = io.StringIO()
+    SwfWriter().write(records, buffer)
+    reparsed = SwfReader().read(io.StringIO(buffer.getvalue()))
+    assert [r.fields for r in reparsed] == [r.fields for r in records]
+
+
+def test_registry_lists_and_opens_the_bundled_trace():
+    names = [name for name, _ in known_traces()]
+    assert "das3-synthetic" in names
+    records = list(open_trace("das3-synthetic", jobs=5))
+    assert len(records) == 5
+
+
+def test_register_trace_rejects_duplicates_and_unknown_names():
+    with pytest.raises(ValueError):
+        register_trace("das3-synthetic", synthetic_das3_trace)
+    with pytest.raises(ValueError, match="unknown trace"):
+        open_trace("no-such-trace")
+
+
+def test_swf_files_are_discovered_as_traces(tmp_path, monkeypatch):
+    path = tmp_path / "mini.swf"
+    SwfWriter().write(make_records([0, 60, 120]), path)
+    monkeypatch.setenv("REPRO_TRACES_DIR", str(tmp_path))
+    assert ("mini", f"SWF file {path}") in known_traces()
+    assert len(list(open_trace("mini"))) == 3
+    # File traces accept no opener parameters.
+    with pytest.raises(ValueError, match="no opener parameters"):
+        open_trace("mini", jobs=5)
+    # A direct path also works, registry or not.
+    assert len(list(open_trace(str(path)))) == 3
+
+
+# -- trace references ----------------------------------------------------------
+
+
+def test_trace_ref_parses_and_canonicalises():
+    ref = TraceRef.parse("trace:das3-synthetic?malleable=0.5&load_factor=2&jobs=100")
+    assert ref.trace == "das3-synthetic"
+    assert ref.params == {"malleable": 0.5, "load_factor": 2, "jobs": 100}
+    assert (
+        ref.canonical() == "trace:das3-synthetic?jobs=100&load_factor=2&malleable=0.5"
+    )
+    assert ref.opener_params() == {"jobs": 100}
+    assert is_trace_reference("trace:x") and not is_trace_reference("Wm")
+
+
+def test_trace_ref_rejects_malformed_input():
+    with pytest.raises(ValueError):
+        TraceRef.parse("trace:")
+    with pytest.raises(ValueError):
+        TraceRef.parse("trace:x?budget")
+    with pytest.raises(ValueError, match="window"):
+        TraceRef.parse("trace:das3-synthetic?window=42").transforms()
+
+
+def test_trace_ref_window_accepts_open_sides():
+    transforms = TraceRef.parse("trace:x?window=100:").transforms()
+    assert transforms == [TimeWindow(start=100.0, end=None)]
+    transforms = TraceRef.parse("trace:x?window=:200").transforms()
+    assert transforms == [TimeWindow(start=None, end=200.0)]
+
+
+def test_build_trace_workload_applies_the_whole_pipeline():
+    spec = build_trace_workload(
+        "trace:das3-synthetic?jobs=200&load_factor=4&max_procs=16&malleable=0",
+        job_count=50,
+    )
+    assert len(spec) == 50
+    assert all(job.kind is JobKind.RIGID for job in spec)
+    assert all((job.maximum_processors or 0) <= 16 for job in spec)
+    # Factor 4 compresses the horizon to about a quarter.
+    plain = build_trace_workload("trace:das3-synthetic?jobs=200&malleable=0", job_count=50)
+    assert spec.duration == pytest.approx(plain.duration / 4, rel=0.01)
+
+
+def test_trace_workloads_resolve_through_the_workload_registry(streams):
+    reference = "trace:das3-synthetic?jobs=40&load_factor=2"
+    via_registry = build_named_workload(reference, streams["workload"], job_count=15)
+    direct = build_trace_workload(reference, job_count=15)
+    assert [j.submit_time for j in via_registry] == [j.submit_time for j in direct]
+    assert len(via_registry) == 15
+    # The experiment rng must not influence trace content (a trace is data).
+    other = build_named_workload(reference, streams["another"], job_count=15)
+    assert [j.submit_time for j in other] == [j.submit_time for j in direct]
+
+
+def test_unknown_workload_error_mentions_trace_prefix():
+    with pytest.raises(ValueError, match="trace:"):
+        build_named_workload("definitely-not-a-workload", None, job_count=1)
+
+
+def test_trace_ref_validate_fails_fast_without_pulling_records():
+    with pytest.raises(ValueError, match="unknown trace"):
+        TraceRef.parse("trace:nope").validate()
+    with pytest.raises(ValueError, match="rejected parameters"):
+        TraceRef.parse("trace:das3-synthetic?bogus_param=1").validate()
+    with pytest.raises(ValueError, match="load factor"):
+        TraceRef.parse("trace:das3-synthetic?load_factor=-2").validate()
+    with pytest.raises(ValueError, match="malleable"):
+        TraceRef.parse("trace:das3-synthetic?malleable=1.5").validate()
+    with pytest.raises(ValueError, match="jobs"):
+        TraceRef.parse("trace:das3-synthetic?jobs=-5").validate()
+    ref = TraceRef.parse("trace:das3-synthetic?jobs=10&load_factor=2&malleable=0.5")
+    assert ref.validate() is ref
+
+
+def test_generator_functions_validate_eagerly_not_at_first_next():
+    # Both are plain functions returning generators, so bad arguments raise
+    # here, not inside a consumer loop three layers away.
+    with pytest.raises(ValueError):
+        synthetic_das3_trace(jobs=-1)
+    with pytest.raises(ValueError):
+        iter_jobspecs(iter([]), malleable_fraction=2.0)
+
+
+def test_trace_fingerprint_tracks_file_content(tmp_path, monkeypatch):
+    from repro.workloads import trace_fingerprint
+
+    path = tmp_path / "edit.swf"
+    SwfWriter().write(make_records([0, 60]), path)
+    monkeypatch.setenv("REPRO_TRACES_DIR", str(tmp_path))
+    by_name = trace_fingerprint("trace:edit")
+    by_path = trace_fingerprint(f"trace:{path}")
+    assert by_name is not None and by_name == by_path
+    # Editing the file changes the fingerprint (and thus the cache key).
+    SwfWriter().write(make_records([0, 60, 120]), path)
+    assert trace_fingerprint("trace:edit") != by_name
+    # Registered traces are deterministic code: no fingerprint needed.
+    assert trace_fingerprint("trace:das3-synthetic?jobs=5") is None
+    assert trace_fingerprint("trace:") is None  # malformed -> fails at build
+
+
+def test_config_cache_key_includes_file_trace_fingerprint(tmp_path, monkeypatch):
+    from repro.experiments.engine import config_key
+    from repro.experiments.setup import ExperimentConfig
+
+    path = tmp_path / "keyed.swf"
+    SwfWriter().write(make_records([0, 60]), path)
+    monkeypatch.setenv("REPRO_TRACES_DIR", str(tmp_path))
+    config = ExperimentConfig(workload=f"trace:{path}", job_count=2)
+    assert "workload_fingerprint" in config.to_dict()
+    before = config_key(config)
+    SwfWriter().write(make_records([0, 60, 120]), path)
+    assert config_key(config) != before
+    # The derived key round-trips away cleanly.
+    assert ExperimentConfig.from_dict(config.to_dict()).workload == config.workload
+
+
+# -- streaming workload --------------------------------------------------------
+
+
+def test_streaming_workload_matches_materialised_spec():
+    reference = "trace:das3-synthetic?jobs=60&malleable=0.5"
+    streaming = StreamingWorkload.from_reference(reference, job_count=25)
+    materialised = build_trace_workload(reference, job_count=25)
+    streamed = list(streaming)
+    assert [(s.submit_time, s.name, s.kind) for s in streamed] == [
+        (s.submit_time, s.name, s.kind) for s in materialised
+    ]
+    assert streaming.duration == materialised.duration
+    assert streaming.submitted_count == len(materialised)
+
+
+def test_streaming_workload_is_restartable():
+    streaming = StreamingWorkload.from_reference("trace:das3-synthetic?jobs=10")
+    first = [s.submit_time for s in streaming]
+    second = [s.submit_time for s in streaming]
+    assert first == second
+
+
+def test_stream_trace_jobspecs_is_lazy():
+    stream = stream_trace_jobspecs("trace:das3-synthetic?jobs=100000")
+    import itertools
+
+    head = list(itertools.islice(stream, 5))
+    assert len(head) == 5

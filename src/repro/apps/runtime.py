@@ -178,6 +178,7 @@ class RunningApplication:
         self._total_work = float(total_work)
         self._pending: Deque[Tuple[int, Event]] = deque()
         self._interruptible = False
+        self._aborted = False
         self._process = None
         #: Start time and rate of the progressing segment currently underway
         #: (``None`` while paused or reconfiguring); lets ``remaining_fraction``
@@ -219,6 +220,11 @@ class RunningApplication:
         """Whether the execution has finished."""
         return self.record.finished
 
+    @property
+    def aborted(self) -> bool:
+        """Whether the execution was terminated early (e.g. a node failure)."""
+        return self._aborted
+
     # -- control interface used by the runner ------------------------------
 
     def start(self) -> "RunningApplication":
@@ -252,6 +258,32 @@ class RunningApplication:
         if self._interruptible and self._process.is_alive:
             self._process.interrupt("reallocation")
         return ack
+
+    def abort(self) -> None:
+        """Terminate the execution immediately (the job was killed).
+
+        Used by the fault-injection layer when the processors under the
+        application fail: whatever work was done is lost, the execution
+        record is closed at the current time (:attr:`aborted` distinguishes
+        it from a successful completion) and :attr:`completed` triggers so
+        waiters unwind.  Idempotent; a no-op after normal completion.
+        """
+        if self._process is None or self.is_finished:
+            return
+        self._aborted = True
+        # Freeze progress accounting: the time computed so far still shows in
+        # the record (it is the basis of the wasted-work metric), but no more
+        # accrues.
+        self._end_progress()
+        self.record.finish_time = self.env.now
+        while self._pending:
+            _, ack = self._pending.popleft()
+            if not ack.triggered:
+                ack.succeed(self._allocation)
+        if self._interruptible and self._process.is_alive:
+            self._process.interrupt("aborted")
+        if not self.completed.triggered:
+            self.completed.succeed(self.record)
 
     # -- internal machinery -------------------------------------------------
 
@@ -293,7 +325,7 @@ class RunningApplication:
         self.record.start_time = env.now
         self._record_allocation()
 
-        while self._remaining > _WORK_EPSILON:
+        while not self._aborted and self._remaining > _WORK_EPSILON:
             if self._pending:
                 yield from self._serve_reconfiguration()
                 continue
@@ -325,6 +357,8 @@ class RunningApplication:
                 self._interruptible = False
                 self._end_progress()
 
+        if self._aborted:
+            return  # abort() already closed the record and triggered waiters
         self._finish()
 
     def _serve_reconfiguration(self):
@@ -343,6 +377,10 @@ class RunningApplication:
             self._begin_progress()
             yield env.timeout(segment)
             self._end_progress()
+            if self._aborted:
+                if not ack.triggered:
+                    ack.succeed(self._allocation)
+                return
             if self._remaining <= _WORK_EPSILON:
                 # Finished before reaching the adaptation point: the
                 # reconfiguration never happens.
@@ -354,6 +392,10 @@ class RunningApplication:
         if cost > 0:
             # The application is suspended while it redistributes its data.
             yield env.timeout(cost)
+            if self._aborted:
+                if not ack.triggered:
+                    ack.succeed(self._allocation)
+                return
 
         self._allocation = new_size
         self._record_allocation()

@@ -49,9 +49,10 @@ from repro.bench.runner import (
 JOBS_ENV = "REPRO_BENCH_JOBS"
 SEED_ENV = "REPRO_BENCH_SEED"
 
-#: Scenarios benchmarked when none is named: the paper's central sweep plus
-#: the trace-replay path (which exercises SWF ingestion + transformation).
-DEFAULT_SCENARIOS = ("figure7", "trace-replay")
+#: Scenarios benchmarked when none is named: the paper's central sweep, the
+#: trace-replay path (SWF ingestion + transformation) and the fault sweep
+#: (node churn + failure-aware scheduling + resilience metrics).
+DEFAULT_SCENARIOS = ("figure7", "trace-replay", "fault-sweep")
 
 #: Default job count for benchmark runs: large enough for a stable signal,
 #: small enough for a CI gate on every PR.

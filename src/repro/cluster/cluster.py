@@ -52,9 +52,14 @@ class Cluster:
         self._total = int(total_processors)
         self._used_grid = 0
         self._used_local = 0
+        self._failed = 0
         self._allocations: Dict[int, Allocation] = {}
         #: Step function of the total number of busy processors.
         self.usage_series = TimeSeries(name=f"{name}:usage")
+        #: Step function of the number of *available* (non-failed) processors.
+        #: Flat at ``total_processors`` unless a fault model drives the
+        #: cluster through :meth:`mark_failed` / :meth:`mark_repaired`.
+        self.availability_series = TimeSeries(name=f"{name}:availability")
         #: Step function of processors busy on behalf of KOALA-managed jobs.
         self.grid_usage_series = TimeSeries(name=f"{name}:grid-usage")
         #: Step function of processors busy on behalf of local background jobs.
@@ -68,6 +73,7 @@ class Cluster:
         #: the processors that become available over time.
         self._release_listeners: List = []
         self._record_usage()
+        self.availability_series.record(self.env.now, self._total)
 
     # -- capacity bookkeeping ------------------------------------------------
 
@@ -92,12 +98,29 @@ class Cluster:
         return self._used_local
 
     @property
+    def failed_processors(self) -> int:
+        """Processors currently down (unavailable to any allocation)."""
+        return self._failed
+
+    @property
+    def available_processors(self) -> int:
+        """Processors currently up (total minus failed)."""
+        return self._total - self._failed
+
+    @property
     def idle_processors(self) -> int:
-        """Processors currently idle."""
+        """Processors currently idle (up and unallocated).
+
+        Never negative: in the short window between a failure striking busy
+        nodes and the victim allocations being torn down, failed + used may
+        transiently exceed the total, and the clamp keeps every placement and
+        grow decision safe during it.
+        """
         # Computed inline (not via ``used_processors``): this property is the
         # single most queried quantity of a run — every KIS poll and every
         # placement/grow decision reads it for every cluster.
-        return self._total - self._used_grid - self._used_local
+        idle = self._total - self._failed - self._used_grid - self._used_local
+        return idle if idle > 0 else 0
 
     @property
     def utilization(self) -> float:
@@ -167,6 +190,46 @@ class Cluster:
         """Invoke ``callback(allocation)`` every time an allocation is released."""
         self._release_listeners.append(callback)
 
+    # -- dynamic availability (fault injection) -------------------------------
+
+    def mark_failed(self, processors: int) -> None:
+        """Take *processors* nodes down (they stop being allocatable).
+
+        Pure capacity bookkeeping: the caller (the fault injector) is
+        responsible for tearing down any allocation whose nodes died —
+        marking first and releasing second keeps the idle count from ever
+        overstating capacity while victims are being dismantled.
+        """
+        if processors < 0:
+            raise ValueError("cannot fail a negative number of processors")
+        if self._failed + processors > self._total:
+            raise ValueError(
+                f"cluster {self.name!r} has {self._total - self._failed} processors "
+                f"up, cannot fail {processors}"
+            )
+        if processors == 0:
+            return
+        self._failed += processors
+        self.availability_series.record(self.env.now, self._total - self._failed)
+
+    def mark_repaired(self, processors: int) -> None:
+        """Bring *processors* previously failed nodes back into the pool."""
+        if processors < 0:
+            raise ValueError("cannot repair a negative number of processors")
+        if processors > self._failed:
+            raise ValueError(
+                f"cluster {self.name!r} has only {self._failed} processors down, "
+                f"cannot repair {processors}"
+            )
+        if processors == 0:
+            return
+        self._failed -= processors
+        self.availability_series.record(self.env.now, self._total - self._failed)
+        # Repaired capacity behaves like released capacity to anyone waiting
+        # for processors (the local resource manager, the malleability
+        # manager's release hooks do not apply: nothing was released).
+        self._notify_release()
+
     # -- internals -------------------------------------------------------------
 
     def _notify_release(self) -> None:
@@ -182,7 +245,8 @@ class Cluster:
         self.local_usage_series.record(now, self._used_local)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        failed = f", failed={self._failed}" if self._failed else ""
         return (
             f"<Cluster {self.name!r} {self.used_processors}/{self._total} busy "
-            f"(grid={self._used_grid}, local={self._used_local})>"
+            f"(grid={self._used_grid}, local={self._used_local}{failed})>"
         )

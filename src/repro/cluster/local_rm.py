@@ -18,9 +18,11 @@ from itertools import count
 from typing import Deque, Dict, List, Optional
 from collections import deque
 
+from repro.cluster.allocation import Allocation
 from repro.cluster.cluster import Cluster
 from repro.sim.core import Environment
-from repro.sim.events import Event
+from repro.sim.events import Event, Interrupt
+from repro.sim.process import Process
 
 _local_job_ids = count(1)
 
@@ -79,6 +81,8 @@ class LocalResourceManager:
         self._queue: Deque[LocalJob] = deque()
         self._completion_events: Dict[int, Event] = {}
         self._finished: List[LocalJob] = []
+        #: Running jobs keyed by allocation id (for fault injection).
+        self._running: Dict[int, "tuple[LocalJob, Allocation, Process]"] = {}
         self._wakeup: Optional[Event] = None
         self._dispatcher = env.process(self._dispatch_loop())
 
@@ -102,6 +106,27 @@ class LocalResourceManager:
     def finished_jobs(self) -> List[LocalJob]:
         """Local jobs that have completed, in completion order."""
         return list(self._finished)
+
+    def fail_allocation(self, allocation: Allocation) -> bool:
+        """Kill the running local job holding *allocation* (a node failed).
+
+        Local jobs are rigid: losing any node terminates the whole job early.
+        Returns ``True`` if a job was killed, ``False`` when the allocation is
+        not one of this manager's running jobs.  The processors come back to
+        the pool when the interrupted job process releases them — the fault
+        injector marks the dead ones failed *before* calling this, so the
+        release cannot be double-promised.
+        """
+        # Popped immediately: a second failure striking the same job in the
+        # same instant (e.g. two trace lines at one timestamp) must be a
+        # no-op, not a second interrupt thrown into a finished generator.
+        entry = self._running.pop(allocation.allocation_id, None)
+        if entry is None:
+            return False
+        _, _, process = entry
+        if process.is_alive:
+            process.interrupt("node failure")
+        return True
 
     # -- dispatcher -------------------------------------------------------------
 
@@ -143,11 +168,17 @@ class LocalResourceManager:
     def _start(self, job: LocalJob) -> None:
         allocation = self.cluster.allocate(job.processors, owner=job.name, kind="local")
         job.start_time = self.env.now
-        self.env.process(self._run(job, allocation))
+        process = self.env.process(self._run(job, allocation))
+        self._running[allocation.allocation_id] = (job, allocation, process)
 
     def _run(self, job: LocalJob, allocation):
-        yield self.env.timeout(job.duration)
-        allocation.release()
+        try:
+            yield self.env.timeout(job.duration)
+        except Interrupt:
+            pass  # killed by a node failure: terminate early
+        self._running.pop(allocation.allocation_id, None)
+        if allocation.active:
+            allocation.release()
         job.finish_time = self.env.now
         self._finished.append(job)
         done = self._completion_events.pop(job.job_id, None)

@@ -170,6 +170,11 @@ class Multicluster:
         return sum(c.idle_processors for c in self._clusters.values())
 
     @property
+    def available_processors(self) -> int:
+        """Total number of up (non-failed) processors over all clusters."""
+        return sum(c.available_processors for c in self._clusters.values())
+
+    @property
     def used_processors(self) -> int:
         """Total number of busy processors over all clusters."""
         return sum(c.used_processors for c in self._clusters.values())
@@ -189,6 +194,17 @@ class Multicluster:
         else:
             raise ValueError(f"unknown usage kind {kind!r}")
         return merge_step_functions(series)
+
+    def availability_series(self):
+        """Summed step function of up (non-failed) processors over all clusters.
+
+        Flat at :attr:`total_processors` unless a fault model drove node
+        churn; the resilience metrics normalise utilization against it.
+        Returns ``(times, values)``.
+        """
+        return merge_step_functions(
+            c.availability_series for c in self._clusters.values()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -53,6 +53,19 @@ run at a trace with transformations::
     repro-cli run trace-replay --trace das3-synthetic --load-factor 2 \\
         --trace-malleable 0.5 --trace-max-procs 85
     repro-cli custom --trace path/to/archive.swf --policy EGS --job-count 200
+
+Fault injection: list the registered fault models, run the fault scenarios,
+or strike any run with node churn / an availability trace::
+
+    repro-cli list-faults
+    repro-cli run fault-sweep --jobs 4
+    repro-cli run churn-replay --job-count 40
+    repro-cli custom --policy EGS --mtbf 3600 --mttr 600 --job-count 60
+    repro-cli custom --fault 'fault:outage?cluster=delft&at=1800&duration=900'
+    repro-cli sweep figure7 --fault-trace outages.flt
+
+Runs that hit the simulation time limit before every job finished print a
+WARNING to stderr and carry ``"truncated": true`` in their result JSON.
 """
 
 from __future__ import annotations
@@ -156,6 +169,82 @@ def _add_trace_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    """Options striking the run with a fault model."""
+    parser.add_argument(
+        "--fault",
+        default=None,
+        metavar="REF",
+        help="inject faults from this model reference, e.g. "
+        "'fault:exp?mtbf=3600&mttr=600' (see list-faults)",
+    )
+    parser.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shorthand for --fault 'fault:exp?mtbf=SECONDS': exponential "
+        "per-node churn with this mean time between failures",
+    )
+    parser.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="mean time to repair for --mtbf (default 600)",
+    )
+    parser.add_argument(
+        "--fault-trace",
+        default=None,
+        metavar="PATH",
+        help="replay this availability trace file "
+        "(shorthand for --fault 'fault:trace?path=PATH')",
+    )
+
+
+def _fault_reference(args: argparse.Namespace) -> Optional[str]:
+    """The canonical ``fault:`` reference the fault options ask for."""
+    fault = getattr(args, "fault", None)
+    mtbf = getattr(args, "mtbf", None)
+    mttr = getattr(args, "mttr", None)
+    fault_trace = getattr(args, "fault_trace", None)
+    chosen = [option for option in (fault, mtbf, fault_trace) if option is not None]
+    if len(chosen) > 1:
+        raise ValueError("--fault, --mtbf and --fault-trace are mutually exclusive")
+    if mttr is not None and mtbf is None:
+        raise ValueError("--mttr requires --mtbf")
+    if not chosen:
+        return None
+    from repro.faults.models import FaultRef
+
+    if mtbf is not None:
+        params = {"mtbf": f"{mtbf:g}"}
+        if mttr is not None:
+            params["mttr"] = f"{mttr:g}"
+        reference = "fault:exp?" + "&".join(f"{k}={v}" for k, v in params.items())
+    elif fault_trace is not None:
+        reference = f"fault:trace?path={fault_trace}"
+    else:
+        reference = fault
+    # Validate now: a bad reference must surface as an argument error, not a
+    # traceback mid-sweep.
+    return FaultRef.parse(reference).validate().canonical()
+
+
+def _warn_truncated(results, *, stream=None) -> None:
+    """Print a visible warning for every run that hit the time limit."""
+    stream = stream if stream is not None else sys.stderr
+    truncated = [label for label, result in results.items() if result.truncated]
+    if not truncated:
+        return
+    print(
+        f"WARNING: {len(truncated)} run(s) hit the simulation time limit before "
+        f"every job finished; their metrics are partial (truncated=true in the "
+        f"result JSON): {', '.join(truncated)}",
+        file=stream,
+    )
+
+
 def _trace_reference(args: argparse.Namespace) -> Optional[str]:
     """The canonical ``trace:`` workload reference the trace options ask for."""
     trace_options = {
@@ -250,6 +339,14 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         help="idle processors reserved for local users when growing",
     )
     parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated-time safety bound per run (default: config's); runs "
+        "cut off by it warn and are flagged truncated",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true", help="do not read or write the result cache"
     )
     parser.add_argument(
@@ -294,12 +391,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="list every available trace (registry + traces/ + $REPRO_TRACES_DIR)",
     )
 
+    subparsers.add_parser(
+        "list-faults",
+        help="list every registered fault model with its parameters",
+    )
+
     run = subparsers.add_parser(
         "run", help="run a scenario and print its full figure/table report"
     )
     _add_scenario_selector(run)
     _add_sweep_options(run)
     _add_trace_options(run)
+    _add_fault_options(run)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario's config grid and print the merged summary"
@@ -307,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_selector(sweep)
     _add_sweep_options(sweep)
     _add_trace_options(sweep)
+    _add_fault_options(sweep)
     sweep.add_argument(
         "--csv", action="store_true", help="emit per-job CSV (all runs concatenated)"
     )
@@ -345,8 +449,16 @@ def build_parser() -> argparse.ArgumentParser:
     custom.add_argument("--job-count", type=_positive_int, default=300)
     custom.add_argument("--seed", type=_non_negative_int, default=0)
     custom.add_argument("--threshold", type=_non_negative_int, default=0)
+    custom.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated-time safety bound (default: config's)",
+    )
     custom.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
     _add_trace_options(custom)
+    _add_fault_options(custom)
     return parser
 
 
@@ -360,9 +472,14 @@ def _overrides_from(args: argparse.Namespace) -> Optional[dict]:
     overrides: dict = {}
     if args.threshold is not None:
         overrides["grow_threshold"] = args.threshold
+    if getattr(args, "time_limit", None) is not None:
+        overrides["time_limit"] = float(args.time_limit)
     workload = _trace_reference(args)
     if workload is not None:
         overrides["workload"] = workload
+    fault = _fault_reference(args)
+    if fault is not None:
+        overrides["fault_model"] = fault
     return overrides or None
 
 
@@ -407,6 +524,25 @@ def _list_traces_report() -> str:
     return "\n".join(lines)
 
 
+def _list_faults_report() -> str:
+    from repro.faults.models import known_fault_models
+
+    lines = ["Registered fault models:", ""]
+    for name, description in known_fault_models():
+        lines.append(f"  {name:<12} {description}")
+    lines.append("")
+    lines.append(
+        "Strike a run with: repro-cli run <scenario> --fault 'fault:<model>?key=value&...'\n"
+        "Shorthands: --mtbf SECONDS [--mttr SECONDS] (exponential churn), "
+        "--fault-trace PATH (availability trace file).\n"
+        "The reference also works as the fault_model field of any "
+        "ExperimentConfig; add retries=N to cap resubmissions of killed jobs.\n"
+        "Built-in fault scenarios: fault-sweep (MTBF x policy grid) and "
+        "churn-replay (malleable vs rigid under identical churn)."
+    )
+    return "\n".join(lines)
+
+
 def _list_scenarios_report() -> str:
     lines = ["Registered scenarios:", ""]
     for spec in iter_scenarios():
@@ -435,6 +571,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = _list_policies_report()
     elif args.command == "list-traces":
         report = _list_traces_report()
+    elif args.command == "list-faults":
+        report = _list_faults_report()
     elif args.command in ("run", "sweep"):
         try:
             spec = get_scenario(_selected_scenario(args))
@@ -461,6 +599,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 refresh=args.refresh,
                 overrides=overrides,
             )
+            _warn_truncated(results)
             if args.command == "run":
                 report = scenario_report(spec, results)
             elif getattr(args, "csv", False):
@@ -484,6 +623,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             placement = {"name": placement, "params": dict(args.placement_arg)}
         try:
             workload = _trace_reference(args) or args.workload
+            extra: dict = {}
+            if args.time_limit is not None:
+                extra["time_limit"] = float(args.time_limit)
             config = ExperimentConfig(
                 name="cli-custom",
                 workload=workload,
@@ -493,11 +635,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 placement_policy=placement,
                 grow_threshold=args.threshold,
                 seed=args.seed,
+                fault_model=_fault_reference(args),
+                **extra,
             )
         except (TypeError, ValueError) as error:
             parser.error(str(error))
             return 2  # pragma: no cover - parser.error raises
         result = run_experiment(config)
+        _warn_truncated({result.label: result})
         if args.csv:
             report = metrics_to_csv(result.metrics)
         else:

@@ -80,6 +80,9 @@ def result_to_record(result: ExperimentResult) -> Dict[str, Any]:
         "metrics": result.metrics.to_dict(),
         "simulated_time": float(result.simulated_time),
         "all_done": bool(result.all_done),
+        # Derived from all_done but spelled out so anyone reading a result
+        # JSON sees immediately that the metrics are partial.
+        "truncated": bool(result.truncated),
         "workload_duration": float(result.workload_duration),
         "events_processed": int(result.events_processed),
     }

@@ -621,6 +621,87 @@ def trace_load_sweep_scenario(
     )
 
 
+def fault_sweep_scenario(
+    *,
+    workload: str = "Wmr",
+    mtbfs: Sequence[float] = (43200.0, 10800.0),
+    mttr: float = 900.0,
+    policies: Sequence[Optional[str]] = ("FPSMA", "EGS", None),
+) -> ScenarioSpec:
+    """MTBF sweep x policy grid under exponential per-node churn.
+
+    Every variant replays the same mixed malleable/rigid workload (Wmr by
+    default) while nodes fail and return with the given per-node MTBF/MTTR;
+    the resilience metrics then show malleable jobs shrinking through
+    failures that kill their rigid peers, and how the gap widens as the
+    machine gets flakier.
+    """
+    return ScenarioSpec(
+        name="fault-sweep",
+        title="Faults - MTBF sweep x malleability policies under node churn",
+        base={
+            "workload": workload,
+            "approach": "PRA",
+            "placement_policy": "WF",
+        },
+        variants=tuple(
+            ScenarioVariant(
+                f"{policy or 'no-malleability'}/mtbf={mtbf:g}",
+                {
+                    "malleability_policy": policy,
+                    "fault_model": f"fault:exp?mtbf={mtbf:g}&mttr={mttr:g}",
+                    "name": f"fault-sweep-{_slug(policy or 'none')}-{mtbf:g}",
+                },
+            )
+            for policy in policies
+            for mtbf in mtbfs
+        ),
+        default_job_count=40,
+    )
+
+
+def churn_replay_scenario(
+    *,
+    trace: str = "das3-synthetic",
+    fault: str = "fault:exp?mtbf=21600&mttr=900",
+    policy: str = "EGS",
+) -> ScenarioSpec:
+    """Replay one trace under churn, all-malleable versus all-rigid.
+
+    The sharpest resilience comparison possible: the *same* job stream with
+    the *same* failure sequence, where the only difference is whether jobs
+    are malleable.  The malleable variant shows shrink-rescues where the
+    rigid variant shows kills and resubmissions.
+    """
+    return ScenarioSpec(
+        name="churn-replay",
+        title="Faults - trace replay under churn, malleable vs rigid jobs",
+        base={
+            "approach": "PRA",
+            "placement_policy": "WF",
+            "malleability_policy": policy,
+            "fault_model": fault,
+        },
+        variants=(
+            ScenarioVariant(
+                f"malleable/{trace}",
+                {
+                    "workload": f"trace:{trace}?malleable=1&max_procs=32",
+                    "name": "churn-replay-malleable",
+                },
+            ),
+            ScenarioVariant(
+                f"rigid/{trace}",
+                {
+                    "workload": f"trace:{trace}?malleable=0&max_procs=32",
+                    "name": "churn-replay-rigid",
+                },
+            ),
+        ),
+        default_job_count=40,
+    )
+
+
 def background_load_ablation_scenario(
     *, workload: str = "Wm", interarrivals: Sequence[float] = (float("inf"), 300.0, 60.0)
 ) -> ScenarioSpec:
@@ -673,5 +754,7 @@ for _factory in (
     average_steal_scenario,
     trace_replay_scenario,
     trace_load_sweep_scenario,
+    fault_sweep_scenario,
+    churn_replay_scenario,
 ):
     register_scenario(_factory())

@@ -150,6 +150,7 @@ class ExperimentConfig:
     background_fraction: "float | Dict[str, float] | None" = None
     background_backfilling: bool = True
     reconfiguration_cost: Optional[float] = None
+    fault_model: Optional[str] = None
     time_limit: float = DEFAULT_TIME_LIMIT
 
     def __post_init__(self) -> None:
@@ -166,6 +167,15 @@ class ExperimentConfig:
                 spec_string("malleability", self.malleability_policy),
             )
         object.__setattr__(self, "approach", spec_string("approach", self.approach))
+        if self.fault_model is not None:
+            # Same treatment as the policy axes: a typo'd fault reference
+            # fails here with the registered model names listed, and the
+            # canonical form keeps result-cache keys stable.
+            from repro.faults.models import fault_reference_string
+
+            object.__setattr__(
+                self, "fault_model", fault_reference_string(self.fault_model)
+            )
 
     @property
     def label(self) -> str:
@@ -211,6 +221,12 @@ class ExperimentConfig:
             fingerprint = trace_fingerprint(self.workload)
             if fingerprint is not None:
                 data["workload_fingerprint"] = fingerprint
+        if self.fault_model is not None:
+            from repro.faults.models import fault_fingerprint
+
+            fingerprint = fault_fingerprint(self.fault_model)
+            if fingerprint is not None:
+                data["fault_fingerprint"] = fingerprint
         return data
 
     @classmethod
@@ -251,6 +267,16 @@ class ExperimentResult:
     def __post_init__(self) -> None:
         if self.workload is not None and not self.workload_duration:
             self.workload_duration = float(self.workload.duration)
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the run hit its time limit before every job finished.
+
+        A truncated run's metrics cover only the jobs that completed in time;
+        callers (the CLI, reports) surface this loudly instead of passing the
+        partial numbers off as a finished experiment.
+        """
+        return not self.all_done
 
     @property
     def label(self) -> str:
@@ -343,6 +369,11 @@ def run_experiment(
     if workload is None:
         workload = build_workload(config, streams)
     multicluster, scheduler = build_system(config, env, streams)
+    injector = None
+    if config.fault_model is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(env, scheduler, config.fault_model, streams)
     submitter = WorkloadSubmitter(
         env, scheduler, workload, registry=_profile_registry(config)
     )
@@ -357,7 +388,9 @@ def run_experiment(
             break
         env.run(until=min(config.time_limit, env.now + check_interval))
 
-    metrics = ExperimentMetrics.from_run(scheduler, multicluster, label=config.label)
+    metrics = ExperimentMetrics.from_run(
+        scheduler, multicluster, label=config.label, faults=injector
+    )
     return ExperimentResult(
         config=config,
         metrics=metrics,

@@ -1,0 +1,53 @@
+"""Dynamic availability and fault injection.
+
+The paper's motivation is a multicluster whose availability *changes while
+jobs run*; this package makes that an experiment axis.  Fault **models**
+(:mod:`repro.faults.models`) describe node churn, cluster outages, graceful
+drains and file-based availability traces as deterministic event streams
+referenced with ``fault:`` strings (``"fault:exp?mtbf=3600&mttr=600"``); the
+**injector** (:mod:`repro.faults.injector`) replays a stream against the
+simulated system — failed processors leave the cluster pools, rigid jobs hit
+by a failure are killed and resubmitted under a configurable retry policy,
+and malleable jobs *shrink through* failures when their minimum size still
+fits.  Resilience metrics (kills, rescues, wasted work,
+availability-normalised utilization) surface through
+:class:`~repro.metrics.collector.ExperimentMetrics` whenever a fault model
+is configured, and are entirely absent — bit for bit — when it is not.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.models import (
+    FAULT_PREFIX,
+    FaultEvent,
+    FaultRef,
+    cluster_drain,
+    cluster_outage,
+    exponential_churn,
+    fault_fingerprint,
+    fault_reference_string,
+    is_fault_reference,
+    known_fault_models,
+    parse_fault_trace,
+    register_fault_model,
+    resolve_fault_model,
+    weibull_churn,
+)
+
+__all__ = [
+    "FAULT_PREFIX",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRef",
+    "FaultStats",
+    "cluster_drain",
+    "cluster_outage",
+    "exponential_churn",
+    "fault_fingerprint",
+    "fault_reference_string",
+    "is_fault_reference",
+    "known_fault_models",
+    "parse_fault_trace",
+    "register_fault_model",
+    "resolve_fault_model",
+    "weibull_churn",
+]

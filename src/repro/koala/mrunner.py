@@ -172,7 +172,62 @@ class MalleableRunner(JobRunner):
         outcome.succeed(True)
 
         record = yield application.completed
+        if self._killed:
+            # Aborted by a node failure (the remaining size fell below the
+            # job's minimum): kill()/fail_job() own the cleanup.
+            return
         self._finish(record)
+
+    # -- fault tolerance ---------------------------------------------------------
+
+    def survive_failure(self, lost: int) -> Event:
+        """Shrink through a node failure: *lost* held processors just died.
+
+        The paper's adaptation story made concrete: where a rigid job dies
+        with the node, a malleable job whose minimum still fits gives the
+        dead processors up and keeps computing.  The corresponding size-1
+        GRAM jobs are released immediately (the nodes are gone — the caller
+        has already marked them failed, so they cannot be re-promised) and a
+        *mandatory* shrink is pushed through DYNACO so the application adapts
+        down to what is left at its next adaptation point.
+
+        Returns an event succeeding with the number of processors the
+        application actually gave up (at least *lost*, more if its structural
+        size constraint rounds further down).
+        """
+        done = self.env.event()
+        application = self.application
+        if (
+            lost <= 0
+            or application is None
+            or application.is_finished
+            or self.dynaco is None
+            or lost > len(self.gram_jobs)
+        ):
+            done.succeed(0)
+            return done
+        # The dead stubs: released without the voluntary-release accounting —
+        # nothing voluntary about a node failure.
+        self._release_gram_jobs(self.gram_jobs[-lost:])
+        self.env.process(self._survive_process(lost, done))
+        return done
+
+    def _survive_process(self, lost, done):
+        application = self.application
+        current = application.allocation
+        event = self.monitor.on_shrink_message(self.env.now, lost, current, mandatory=True)
+        result = yield self.dynaco.adapt(event, current)
+        released = max(0, -result.accepted_change)
+        if released > lost:
+            # The size constraint rounded below the surviving size (e.g. FT
+            # dropping to the next power of two): the application gave up
+            # healthy processors too — release their GRAM jobs normally.
+            extra = min(released - lost, len(self.gram_jobs))
+            if extra > 0:
+                self._release_gram_jobs(self.gram_jobs[-extra:])
+        if released > 0:
+            self.shrink_operations += 1
+        done.succeed(released)
 
     # -- malleability operations -------------------------------------------------
 

@@ -75,6 +75,9 @@ class JobRunner(ABC):
         self.cluster_name: Optional[str] = None
         self.application: Optional[RunningApplication] = None
         self.gram_jobs: List[GramJob] = []
+        #: Set by :meth:`kill`; tells the start process not to report the
+        #: aborted execution as a completion.
+        self._killed = False
         #: Succeeds with the job's :class:`ExecutionRecord` when it finishes.
         self.completed: Event = env.event()
 
@@ -114,6 +117,28 @@ class JobRunner(ABC):
     def start_time(self) -> Optional[float]:
         """When the application started executing (``None`` before that)."""
         return self.job.start_time
+
+    @property
+    def killed(self) -> bool:
+        """Whether this runner's execution was killed by a node failure."""
+        return self._killed
+
+    def kill(self, reason: str) -> None:
+        """Abort the execution because processors under it failed.
+
+        Aborts the application (whatever work it did is lost) and releases
+        every GRAM job still held — the scheduler decides afterwards whether
+        the job is resubmitted or abandoned (see
+        :meth:`~repro.koala.scheduler.KoalaScheduler.fail_job`).  Idempotent.
+        """
+        if self._killed:
+            return
+        self._killed = True
+        self.job.failure_reason = reason
+        application = self.application
+        if application is not None and not application.is_finished:
+            application.abort()
+        self._release_gram_jobs(list(self.gram_jobs))
 
     # -- shared helpers ---------------------------------------------------------
 
@@ -198,6 +223,10 @@ class RigidRunner(JobRunner):
         outcome.succeed(True)
 
         record = yield application.completed
+        if self._killed:
+            # Aborted by a node failure: kill()/fail_job() own the cleanup
+            # and the (possible) resubmission; this execution never finished.
+            return
         self._finish(record)
 
 

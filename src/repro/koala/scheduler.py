@@ -37,6 +37,7 @@ from repro.koala.runners import JobRunner, RunnersFramework
 from repro.policies.hooks import (
     HookDispatcher,
     JobEnded,
+    JobFailed,
     JobPlaced,
     JobStarted,
     JobSubmitted,
@@ -280,6 +281,21 @@ class KoalaScheduler:
         """Jobs currently executing."""
         return list(self._running.values())
 
+    def running_runners(self, cluster_name: Optional[str] = None) -> List[JobRunner]:
+        """Runners of the currently executing jobs, in start order.
+
+        With *cluster_name*, only the runners executing on that cluster —
+        the view the fault injector draws failure victims from.
+        """
+        runners = [self._runners[job.job_id] for job in self._running.values()]
+        if cluster_name is None:
+            return runners
+        return [
+            runner
+            for runner in runners
+            if runner.cluster_name == cluster_name and runner.is_running
+        ]
+
     def queue_head(self) -> Optional[Job]:
         """The job at the head of the placement queue (``None`` when empty)."""
         head = self.queue.head
@@ -424,6 +440,44 @@ class KoalaScheduler:
     def processors_released(self, cluster_name: str) -> None:
         """A runner released processors on *cluster_name* (shrink or voluntary)."""
         self.emit(ProcessorsFreed(self.env.now, cluster_name))
+
+    # -- failure-aware job management (used by repro.faults) --------------------------
+
+    def fail_job(self, job: Job, *, reason: str, resubmit: bool = True) -> bool:
+        """Kill the running *job* after a node failure, optionally resubmitting it.
+
+        The execution is aborted and every held processor released (the
+        killed work is gone — rigid jobs pay the paper's price for not being
+        malleable).  With ``resubmit=True`` the *same* job goes back to the
+        tail of the placement queue under a fresh runner, keeping its
+        original submit time so response-time metrics include the wasted
+        attempt; otherwise it is abandoned for good.  Emits
+        :class:`~repro.policies.hooks.JobFailed` either way (plus the usual
+        :class:`JobSubmitted` / failed :class:`JobEnded`).
+
+        Returns ``False`` when *job* is not currently executing (nothing to
+        kill).
+        """
+        runner = self._runners.get(job.job_id)
+        if runner is None or job.job_id not in self._running:
+            return False
+        self._forget_running(job)
+        runner.kill(reason)
+        if resubmit:
+            job.state = JobState.QUEUED
+            job.failure_reason = ""
+            job.clear_placement()
+            self._runners[job.job_id] = self.runners.create_runner(job)
+            self.queue.enqueue(job, self.env.now)
+            self.emit(JobFailed(self.env.now, job, reason=reason, resubmitted=True))
+            # The resubmission is a job-management trigger like any other.
+            self.emit(JobSubmitted(self.env.now, job))
+        else:
+            if job not in self.failed:
+                self._abandon(job, reason)
+            self.emit(JobFailed(self.env.now, job, reason=reason, resubmitted=False))
+            self.emit(JobEnded(self.env.now, job, failed=True, reason=reason))
+        return True
 
     # -- bookkeeping -------------------------------------------------------------------
 

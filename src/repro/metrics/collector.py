@@ -8,7 +8,12 @@ figures plot, already in the right form:
 * CDFs of average/maximum allocation and execution/response times
   (per application or combined),
 * the system-wide utilization step function,
-* the cumulative malleability-manager activity.
+* the cumulative malleability-manager activity,
+* and, when a fault model was configured, the resilience block: job kills,
+  resubmissions, shrink-rescues, wasted work, the availability step function
+  and availability-normalised utilization.  With faults disabled the block
+  is entirely absent, so fault support is provably zero-drift for every
+  existing metric consumer (golden snapshots, bench digests, the cache).
 """
 
 from __future__ import annotations
@@ -103,6 +108,17 @@ class JobMetrics:
         )
 
 
+def _step_integral(times, values, *, end: float) -> float:
+    """Integral of a right-continuous step function over ``[0, end]``."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(times) == 0 or end <= times[0]:
+        return 0.0
+    inside = times < end
+    times = np.append(times[inside], end)
+    return float(np.sum(values[: len(times) - 1] * np.diff(times)))
+
+
 class ExperimentMetrics:
     """All metrics of one finished experiment run."""
 
@@ -115,6 +131,7 @@ class ExperimentMetrics:
         shrink_activity: Tuple[np.ndarray, np.ndarray],
         unfinished_jobs: int = 0,
         label: str = "",
+        resilience: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.jobs = list(jobs)
         self.utilization = utilization
@@ -122,6 +139,11 @@ class ExperimentMetrics:
         self.shrink_activity = shrink_activity
         self.unfinished_jobs = int(unfinished_jobs)
         self.label = label
+        #: Resilience block of a fault-injected run (``None`` without faults):
+        #: scalar counters plus the ``"availability"`` step function, kept in
+        #: JSON-compatible form so it round-trips byte-identically through
+        #: the cache and worker subprocesses.
+        self.resilience = resilience
         # Lazily built column arrays over the job records (see ``_columns``).
         self._columns_cache: Optional[Dict[str, np.ndarray]] = None
 
@@ -134,8 +156,15 @@ class ExperimentMetrics:
         multicluster: Multicluster,
         *,
         label: str = "",
+        faults=None,
     ) -> "ExperimentMetrics":
-        """Collect metrics from a finished (or stopped) scheduler run."""
+        """Collect metrics from a finished (or stopped) scheduler run.
+
+        *faults* is the run's :class:`~repro.faults.injector.FaultInjector`
+        when fault injection was enabled; its counters become the resilience
+        block, together with the availability step function and the
+        availability-normalised utilization.
+        """
         jobs = [
             JobMetrics.from_record(job, scheduler.records[job.job_id])
             for job in scheduler.finished
@@ -150,13 +179,28 @@ class ExperimentMetrics:
         unfinished = (
             len(scheduler.running_jobs()) + scheduler.queue_length + len(scheduler.failed)
         )
+        utilization = multicluster.utilization_series("grid")
+        resilience: Optional[Dict[str, Any]] = None
+        if faults is not None:
+            availability = multicluster.availability_series()
+            end = float(multicluster.env.now)
+            used = _step_integral(*utilization, end=end)
+            available = _step_integral(*availability, end=end)
+            resilience = dict(faults.resilience_summary())
+            resilience["availability"] = cls._series_to_dict(availability)
+            # Utilization normalised by what was actually *up*: the fair
+            # utilization figure of a run whose machine kept changing size.
+            resilience["availability_normalized_utilization"] = float(
+                used / available if available > 0 else 0.0
+            )
         return cls(
             jobs,
-            utilization=multicluster.utilization_series("grid"),
+            utilization=utilization,
             grow_activity=grow_activity,
             shrink_activity=shrink_activity,
             unfinished_jobs=unfinished,
             label=label,
+            resilience=resilience,
         )
 
     # -- serialisation -----------------------------------------------------------
@@ -185,7 +229,7 @@ class ExperimentMetrics:
         whether they ran in-process, in a worker subprocess, or were loaded
         back from the result cache.
         """
-        return {
+        data = {
             "label": str(self.label),
             "unfinished_jobs": int(self.unfinished_jobs),
             "jobs": [job.to_dict() for job in self.jobs],
@@ -193,6 +237,11 @@ class ExperimentMetrics:
             "grow_activity": self._series_to_dict(self.grow_activity),
             "shrink_activity": self._series_to_dict(self.shrink_activity),
         }
+        if self.resilience is not None:
+            # Present only for fault-injected runs: with faults disabled the
+            # representation stays byte-identical to what it always was.
+            data["resilience"] = self.resilience
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentMetrics":
@@ -204,6 +253,7 @@ class ExperimentMetrics:
             shrink_activity=cls._series_from_dict(data["shrink_activity"]),
             unfinished_jobs=int(data["unfinished_jobs"]),
             label=data["label"],
+            resilience=data.get("resilience"),
         )
 
     # -- vectorised accumulation ---------------------------------------------------
@@ -350,9 +400,15 @@ class ExperimentMetrics:
     # -- summary -------------------------------------------------------------------
 
     def summary(self) -> Dict[str, float]:
-        """Headline statistics of the run (used by reports and benchmarks)."""
+        """Headline statistics of the run (used by reports and benchmarks).
+
+        For fault-injected runs the resilience scalars (job kills,
+        resubmissions, shrink-rescues, wasted work, availability-normalised
+        utilization, ...) join the summary; without a fault model the key set
+        is exactly the historical one.
+        """
         if not self.jobs:
-            return {
+            result = {
                 "jobs": 0,
                 "unfinished": float(self.unfinished_jobs),
                 "mean_execution_time": float("nan"),
@@ -363,20 +419,26 @@ class ExperimentMetrics:
                 "shrink_messages": float(self.total_shrink_messages),
                 "peak_utilization": self.peak_utilization(),
             }
-        columns = self._columns()
-        return {
-            "jobs": float(len(self.jobs)),
-            "unfinished": float(self.unfinished_jobs),
-            "mean_execution_time": float(np.mean(columns["execution_time"])),
-            "mean_response_time": float(np.mean(columns["response_time"])),
-            "median_execution_time": float(np.median(columns["execution_time"])),
-            "median_response_time": float(np.median(columns["response_time"])),
-            "mean_average_allocation": float(np.mean(columns["average_allocation"])),
-            "mean_maximum_allocation": float(np.mean(columns["maximum_allocation"])),
-            "grow_messages": float(self.total_grow_messages),
-            "shrink_messages": float(self.total_shrink_messages),
-            "peak_utilization": self.peak_utilization(),
-        }
+        else:
+            columns = self._columns()
+            result = {
+                "jobs": float(len(self.jobs)),
+                "unfinished": float(self.unfinished_jobs),
+                "mean_execution_time": float(np.mean(columns["execution_time"])),
+                "mean_response_time": float(np.mean(columns["response_time"])),
+                "median_execution_time": float(np.median(columns["execution_time"])),
+                "median_response_time": float(np.median(columns["response_time"])),
+                "mean_average_allocation": float(np.mean(columns["average_allocation"])),
+                "mean_maximum_allocation": float(np.mean(columns["maximum_allocation"])),
+                "grow_messages": float(self.total_grow_messages),
+                "shrink_messages": float(self.total_shrink_messages),
+                "peak_utilization": self.peak_utilization(),
+            }
+        if self.resilience is not None:
+            for key, value in self.resilience.items():
+                if isinstance(value, (int, float)):
+                    result[key] = float(value)
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ExperimentMetrics {self.label!r}: {len(self.jobs)} jobs>"

@@ -30,10 +30,14 @@ from repro.policies.hooks import (
     HOOK_METHODS,
     HookDispatcher,
     JobEnded,
+    JobFailed,
     JobPlaced,
+    JobRescued,
     JobStarted,
     JobSubmitted,
     KisUpdated,
+    NodeFailed,
+    NodeRepaired,
     ProcessorsFreed,
     SchedulerEvent,
     SchedulerHooks,
@@ -57,11 +61,15 @@ __all__ = [
     "HOOK_METHODS",
     "HookDispatcher",
     "JobEnded",
+    "JobFailed",
     "JobPlaced",
+    "JobRescued",
     "JobStarted",
     "JobSubmitted",
     "KINDS",
     "KisUpdated",
+    "NodeFailed",
+    "NodeRepaired",
     "PolicySpec",
     "ProcessorsFreed",
     "SchedulerEvent",

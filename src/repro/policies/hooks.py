@@ -2,7 +2,7 @@
 
 The scheduler core does not call its policies at hard-coded points anymore;
 it *emits* events, and anything implementing (part of) the
-:class:`SchedulerHooks` interface reacts.  The six events cover every
+:class:`SchedulerHooks` interface reacts.  The first six events cover every
 job-management trigger of the paper's system:
 
 * :class:`JobSubmitted` — a job entered the placement queue;
@@ -11,6 +11,16 @@ job-management trigger of the paper's system:
 * :class:`JobEnded` — the application finished (or the runner gave up);
 * :class:`ProcessorsFreed` — a runner returned processors to a cluster;
 * :class:`KisUpdated` — the information service completed a poll.
+
+The fault-injection subsystem (:mod:`repro.faults`) adds four more, emitted
+only when a fault model is configured:
+
+* :class:`NodeFailed` / :class:`NodeRepaired` — processors of one cluster
+  went down / came back;
+* :class:`JobFailed` — a running job was killed by a node failure (and was
+  resubmitted, unless its retry budget ran out);
+* :class:`JobRescued` — a malleable job *shrank through* a node failure
+  instead of dying, the paper's adaptation story under dynamic availability.
 
 All three policy axes are wired through this one mechanism: the
 job-management approach maps trigger events to its PRA/PWA round, while
@@ -90,6 +100,50 @@ class KisUpdated(SchedulerEvent):
     snapshot: "KisSnapshot"
 
 
+@dataclass(frozen=True)
+class NodeFailed(SchedulerEvent):
+    """Processors of one cluster went down.
+
+    ``graceful`` marks a *drain*: the processors leave the pool as they fall
+    idle, so no running job is killed.
+    """
+
+    cluster_name: str
+    processors: int
+    graceful: bool = False
+
+
+@dataclass(frozen=True)
+class NodeRepaired(SchedulerEvent):
+    """Previously failed processors of one cluster came back."""
+
+    cluster_name: str
+    processors: int
+
+
+@dataclass(frozen=True)
+class JobFailed(SchedulerEvent):
+    """A running job was killed by a node failure.
+
+    ``resubmitted`` tells whether the job went back to the placement queue
+    (the retry policy allowed another attempt) or was abandoned for good
+    (in which case a failed :class:`JobEnded` follows).
+    """
+
+    job: "Job"
+    reason: str = ""
+    resubmitted: bool = True
+
+
+@dataclass(frozen=True)
+class JobRescued(SchedulerEvent):
+    """A malleable job survived a node failure by shrinking through it."""
+
+    job: "Job"
+    cluster_name: str
+    lost: int
+
+
 #: Event class -> hook method name, in one place so dispatcher and docs agree.
 HOOK_METHODS: Dict[type, str] = {
     JobSubmitted: "on_job_submitted",
@@ -98,6 +152,10 @@ HOOK_METHODS: Dict[type, str] = {
     JobEnded: "on_job_ended",
     ProcessorsFreed: "on_processors_freed",
     KisUpdated: "on_kis_updated",
+    NodeFailed: "on_node_failed",
+    NodeRepaired: "on_node_repaired",
+    JobFailed: "on_job_failed",
+    JobRescued: "on_job_rescued",
 }
 
 
@@ -132,6 +190,18 @@ class SchedulerHooks:
     def on_kis_updated(self, event: KisUpdated, scheduler: "KoalaScheduler") -> None:
         """The information service completed a poll."""
 
+    def on_node_failed(self, event: NodeFailed, scheduler: "KoalaScheduler") -> None:
+        """Processors of one cluster went down."""
+
+    def on_node_repaired(self, event: NodeRepaired, scheduler: "KoalaScheduler") -> None:
+        """Previously failed processors came back."""
+
+    def on_job_failed(self, event: JobFailed, scheduler: "KoalaScheduler") -> None:
+        """A running job was killed by a node failure."""
+
+    def on_job_rescued(self, event: JobRescued, scheduler: "KoalaScheduler") -> None:
+        """A malleable job shrank through a node failure."""
+
 
 class TriggerOnSchedulingEvents(SchedulerHooks):
     """Maps the paper's job-management trigger points onto ``scheduler.trigger()``.
@@ -156,6 +226,13 @@ class TriggerOnSchedulingEvents(SchedulerHooks):
         scheduler.trigger()
 
     def on_kis_updated(self, event: KisUpdated, scheduler: "KoalaScheduler") -> None:
+        scheduler.trigger()
+
+    def on_node_repaired(self, event: NodeRepaired, scheduler: "KoalaScheduler") -> None:
+        # Repaired capacity is freshly available capacity: placements and
+        # grow operations should react immediately, not at the next KIS poll.
+        # (Failures need no trigger of their own — they only remove capacity,
+        # and any resubmission they cause re-triggers via JobSubmitted.)
         scheduler.trigger()
 
 

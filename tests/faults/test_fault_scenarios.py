@@ -1,0 +1,165 @@
+"""Scenario-level properties of the fault subsystem.
+
+Covers the acceptance criteria of the subsystem: byte-identical
+serial-vs-parallel determinism of ``fault-sweep``, provable zero-drift when
+faults are disabled, and malleable policies taking measurably fewer job
+kills than rigid ones under the same churn.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.engine import result_to_record
+from repro.experiments.scenarios import get_scenario, run_scenario
+from repro.experiments.setup import ExperimentConfig, run_experiment
+
+#: The historical summary key set: a fault-free run must produce exactly
+#: these, or golden snapshots and bench digests would drift.
+BASELINE_SUMMARY_KEYS = {
+    "jobs",
+    "unfinished",
+    "mean_execution_time",
+    "mean_response_time",
+    "median_execution_time",
+    "median_response_time",
+    "mean_average_allocation",
+    "mean_maximum_allocation",
+    "grow_messages",
+    "shrink_messages",
+    "peak_utilization",
+}
+
+
+def sweep_digest(results) -> str:
+    return json.dumps(
+        {label: result.metrics.to_dict() for label, result in sorted(results.items())},
+        sort_keys=True,
+    )
+
+
+def test_fault_sweep_serial_and_parallel_are_byte_identical():
+    serial = run_scenario("fault-sweep", job_count=8, seed=0, jobs=1, cache=None)
+    parallel = run_scenario("fault-sweep", job_count=8, seed=0, jobs=2, cache=None)
+    assert sweep_digest(serial) == sweep_digest(parallel)
+
+
+def test_fault_sweep_repeated_runs_are_byte_identical():
+    first = run_scenario("fault-sweep", job_count=6, seed=0, jobs=1, cache=None)
+    second = run_scenario("fault-sweep", job_count=6, seed=0, jobs=1, cache=None)
+    assert sweep_digest(first) == sweep_digest(second)
+
+
+def test_fault_sweep_reports_resilience_metrics():
+    results = run_scenario("fault-sweep", job_count=8, seed=0, jobs=1, cache=None)
+    assert results
+    for result in results.values():
+        summary = result.metrics.summary()
+        for key in (
+            "jobs_killed",
+            "resubmissions",
+            "shrink_rescues",
+            "wasted_processor_seconds",
+            "availability_normalized_utilization",
+            "node_failures",
+        ):
+            assert key in summary
+        assert result.metrics.resilience is not None
+        assert "availability" in result.metrics.resilience
+
+
+def test_malleable_policies_take_fewer_kills_than_rigid_under_same_churn():
+    # The paper's resilience story, quantified: the same trace with the same
+    # failure sequence, once all-malleable and once all-rigid.
+    results = run_scenario("churn-replay", seed=0, jobs=1, cache=None)
+    kills = {
+        label: result.metrics.summary()["jobs_killed"]
+        for label, result in results.items()
+    }
+    (malleable_label,) = [label for label in kills if label.startswith("malleable")]
+    (rigid_label,) = [label for label in kills if label.startswith("rigid")]
+    assert kills[malleable_label] < kills[rigid_label]
+    # And the malleable run shows actual shrink-rescues.
+    assert (
+        results[malleable_label].metrics.summary()["shrink_rescues"]
+        > results[rigid_label].metrics.summary()["shrink_rescues"]
+    )
+
+
+def test_fault_sweep_grid_prefers_malleability_at_high_churn():
+    results = run_scenario("fault-sweep", seed=0, jobs=1, cache=None)
+    spec = get_scenario("fault-sweep")
+    flaky = min(
+        float(label.rsplit("=", 1)[1]) for label in results if "mtbf=" in label
+    )
+    rigid = results[f"no-malleability/mtbf={flaky:g}"].metrics.summary()
+    for policy in ("FPSMA", "EGS"):
+        malleable = results[f"{policy}/mtbf={flaky:g}"].metrics.summary()
+        assert malleable["jobs_killed"] < rigid["jobs_killed"]
+    assert not spec.is_static
+
+
+# -- zero drift when disabled ---------------------------------------------------
+
+
+def test_disabled_faults_add_nothing_to_metrics():
+    result = run_experiment(ExperimentConfig(workload="Wm", job_count=6, seed=0))
+    assert result.metrics.resilience is None
+    assert set(result.metrics.summary()) == BASELINE_SUMMARY_KEYS
+    assert "resilience" not in result.metrics.to_dict()
+
+
+def test_enabled_faults_round_trip_through_the_wire_format():
+    from repro.experiments.engine import record_to_result
+
+    config = ExperimentConfig(
+        workload="Wmr",
+        job_count=8,
+        seed=0,
+        fault_model="fault:exp?mtbf=7200&mttr=600",
+    )
+    result = run_experiment(config)
+    record = result_to_record(result)
+    assert record["metrics"]["resilience"] == result.metrics.resilience
+    revived = record_to_result(json.loads(json.dumps(record)))
+    assert revived.metrics.to_dict() == result.metrics.to_dict()
+    assert revived.config.fault_model == "fault:exp?mtbf=7200&mttr=600"
+
+
+def test_result_records_carry_the_truncated_flag():
+    done = run_experiment(ExperimentConfig(workload="Wm", job_count=3, seed=0))
+    assert result_to_record(done)["truncated"] is False
+    assert not done.truncated
+
+    cut = run_experiment(
+        ExperimentConfig(workload="Wm", job_count=6, seed=0, time_limit=400.0)
+    )
+    assert cut.truncated
+    assert result_to_record(cut)["truncated"] is True
+
+
+# -- configuration surface --------------------------------------------------------
+
+
+def test_config_canonicalises_and_validates_fault_references():
+    config = ExperimentConfig(fault_model="exp?mttr=60&mtbf=120")
+    assert config.fault_model == "fault:exp?mtbf=120&mttr=60"
+    assert config.to_dict()["fault_model"] == "fault:exp?mtbf=120&mttr=60"
+    restored = ExperimentConfig.from_dict(config.to_dict())
+    assert restored.fault_model == config.fault_model
+
+    with pytest.raises(ValueError, match="unknown fault model"):
+        ExperimentConfig(fault_model="fault:doesnotexist")
+    with pytest.raises(ValueError, match="rejected parameters"):
+        ExperimentConfig(fault_model="fault:exp?bogus=1")
+
+
+def test_trace_backed_fault_model_joins_the_cache_key(tmp_path):
+    path = tmp_path / "events.flt"
+    path.write_text("10 vu down 1\n", encoding="utf-8")
+    config = ExperimentConfig(fault_model=f"fault:trace?path={path}")
+    first = config.to_dict()["fault_fingerprint"]
+    path.write_text("20 vu down 2\n", encoding="utf-8")
+    assert config.to_dict()["fault_fingerprint"] != first

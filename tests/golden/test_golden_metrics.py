@@ -40,6 +40,7 @@ GOLDEN_CASES: Dict[str, Dict[str, int]] = {
     "figure7": {"job_count": 8, "seed": 0},
     "figure8": {"job_count": 6, "seed": 0},
     "trace-replay": {"job_count": 10, "seed": 0},
+    "fault-sweep": {"job_count": 8, "seed": 0},
 }
 
 #: Decimal places golden values are rounded to (cross-version stability).

@@ -137,6 +137,10 @@ def test_hook_methods_cover_every_event_type():
         "on_job_ended",
         "on_processors_freed",
         "on_kis_updated",
+        "on_node_failed",
+        "on_node_repaired",
+        "on_job_failed",
+        "on_job_rescued",
     }
 
 

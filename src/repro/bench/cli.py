@@ -23,6 +23,10 @@ wall-clock regression (what CI runs on every PR)::
 Accept the current numbers as the new baselines (commit the result)::
 
     repro-bench figure7 --job-count 40 --update
+
+Print the 25 hottest functions (by own time) of a scenario's sweep::
+
+    repro-bench figure7 --job-count 40 --profile 25
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.bench.baseline import (
 from repro.bench.runner import (
     BenchRecord,
     benchable_scenarios,
+    profile_bench,
     records_report,
     run_bench,
 )
@@ -50,9 +55,11 @@ JOBS_ENV = "REPRO_BENCH_JOBS"
 SEED_ENV = "REPRO_BENCH_SEED"
 
 #: Scenarios benchmarked when none is named: the paper's central sweep, the
-#: trace-replay path (SWF ingestion + transformation) and the fault sweep
-#: (node churn + failure-aware scheduling + resilience metrics).
-DEFAULT_SCENARIOS = ("figure7", "trace-replay", "fault-sweep")
+#: trace-replay path (SWF ingestion + transformation), the fault sweep
+#: (node churn + failure-aware scheduling + resilience metrics) and the
+#: churn-replay combination (trace-driven submissions under node churn) —
+#: together they cover every hot subsystem of the simulator.
+DEFAULT_SCENARIOS = ("figure7", "trace-replay", "fault-sweep", "churn-replay")
 
 #: Default job count for benchmark runs: large enough for a stable signal,
 #: small enough for a CI gate on every PR.
@@ -119,6 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
         "default: benchmarks measure the simulator, not the cache)",
     )
     parser.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="profile each scenario under cProfile and print its top-N "
+        "hotspots instead of benchmarking (cannot be combined with "
+        "--check/--update: profiled timings are diagnostics, not "
+        "measurements)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list benchable scenarios and exit"
     )
     return parser
@@ -161,6 +178,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     baseline_dir = (
         args.baseline_dir if args.baseline_dir is not None else default_baseline_dir()
     )
+
+    if args.profile is not None:
+        if args.check or args.update:
+            parser.error(
+                "--profile is a diagnostic and cannot gate or update baselines; "
+                "drop --check/--update"
+            )
+            return 2  # pragma: no cover - parser.error raises
+        if args.profile < 1:
+            parser.error("--profile takes the number of hotspots to print (>= 1)")
+            return 2  # pragma: no cover - parser.error raises
+        for name in _resolve_scenarios(args.scenarios):
+            try:
+                report = profile_bench(
+                    name, job_count=job_count, seed=seed, top=args.profile
+                )
+            except ValueError as error:
+                parser.error(str(error))
+                return 2  # pragma: no cover - parser.error raises
+            print(report)
+            print()
+        return 0
 
     records: List[BenchRecord] = []
     for name in _resolve_scenarios(args.scenarios):

@@ -22,7 +22,10 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.experiments.engine import ResultCache, code_version
 from repro.experiments.scenarios import get_scenario, iter_scenarios
-from repro.experiments.setup import ExperimentResult, run_experiment
+from repro.experiments.setup import ExperimentResult, build_workload, run_experiment
+from repro.sim.calqueue import resolve_queue_name
+from repro.sim.rng import RandomStreams
+from repro.workloads.spec import WorkloadSpec
 
 #: Schema version of the ``BENCH_*.json`` files.
 BENCH_FORMAT = 1
@@ -70,6 +73,10 @@ class BenchRecord:
     cache_hits: int
     code_version: str
     metrics_digest: str
+    #: Event-queue implementation the record was measured under (see
+    #: ``repro.sim.calqueue``).  Records predating the field were measured
+    #: with the then-only heap queue, hence the default.
+    queue: str = "heap"
     python_version: str = field(default_factory=platform.python_version)
     #: Coarse machine fingerprint; wall-clock comparisons across different
     #: hosts are reported but never gated (see ``repro.bench.baseline``).
@@ -150,7 +157,14 @@ def run_bench(
 
     # Only the simulator is inside the timed windows: cache probing and
     # cache writes are I/O whose cost must not pollute the gated wall-clock.
+    #
+    # A scenario's configurations replay the same workload against different
+    # policies (exactly the paper's methodology), so the specification is
+    # built once per distinct ``(workload, seed, job_count)`` — inside a
+    # timed window, like every other piece of work the sweep needs — and the
+    # frozen spec is shared across the runs.
     results: Dict[str, ExperimentResult] = {}
+    workloads: Dict[Tuple[str, int, int], WorkloadSpec] = {}
     cache_hits = 0
     wall_clock = 0.0
     for label, config in pairs:
@@ -159,8 +173,14 @@ def run_bench(
             cache_hits += 1
             results[label] = cached
             continue
+        key = (config.workload, config.seed, config.job_count)
         started = time.perf_counter()
-        result = run_experiment(config)
+        workload = workloads.get(key)
+        if workload is None:
+            workloads[key] = workload = build_workload(
+                config, RandomStreams(seed=config.seed)
+            )
+        result = run_experiment(config, workload=workload)
         wall_clock += time.perf_counter() - started
         if store is not None:
             store.store(result)
@@ -179,7 +199,59 @@ def run_bench(
         cache_hits=cache_hits,
         code_version=code_version(),
         metrics_digest=metrics_digest(results),
+        queue=resolve_queue_name(),
     )
+
+
+def profile_bench(
+    scenario: str,
+    *,
+    job_count: Optional[int] = None,
+    seed: int = 0,
+    top: int = 20,
+) -> str:
+    """Run *scenario* under :mod:`cProfile` and return its top-*top* hotspots.
+
+    A diagnostic, not a measurement: the profiler inflates wall-clock by a
+    large constant factor, so profiled runs are never written as records or
+    gated against baselines.  Functions are ranked by total time spent in
+    their own frames (``tottime``) — the quantity an optimisation can
+    actually attack — and the report keeps file names qualified enough to
+    tell kernel frames from domain frames.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if top < 1:
+        raise ValueError("top must be at least 1")
+    spec = get_scenario(scenario)
+    if spec.is_static:
+        raise ValueError(
+            f"scenario {scenario!r} is static (report-only) and cannot be profiled"
+        )
+    pairs = spec.expand(job_count=job_count, seed=seed)
+    workloads: Dict[Tuple[str, int, int], WorkloadSpec] = {}
+    profiler = cProfile.Profile()
+    for _label, config in pairs:
+        key = (config.workload, config.seed, config.job_count)
+        workload = workloads.get(key)
+        profiler.enable()
+        if workload is None:
+            workloads[key] = workload = build_workload(
+                config, RandomStreams(seed=config.seed)
+            )
+        run_experiment(config, workload=workload)
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(top)
+    header = (
+        f"profile: {spec.name} ({len(pairs)} runs, "
+        f"jobs={job_count if job_count is not None else spec.default_job_count}, "
+        f"seed={seed}, queue={resolve_queue_name()}) — top {top} by own time"
+    )
+    return header + "\n" + stream.getvalue().rstrip()
 
 
 def load_record(path: Union[str, Path]) -> BenchRecord:
@@ -190,12 +262,13 @@ def load_record(path: Union[str, Path]) -> BenchRecord:
 def records_report(records: List[BenchRecord]) -> str:
     """Plain-text table of measured benchmark records."""
     lines = [
-        f"{'scenario':<20} {'runs':>4} {'jobs':>5} {'wall (s)':>9} "
+        f"{'scenario':<20} {'queue':<8} {'runs':>4} {'jobs':>5} {'wall (s)':>9} "
         f"{'events':>9} {'events/s':>10} {'peak RSS':>9} {'cached':>6}"
     ]
     for record in records:
         lines.append(
-            f"{record.scenario:<20} {record.runs:>4} {record.job_count:>5} "
+            f"{record.scenario:<20} {record.queue:<8} "
+            f"{record.runs:>4} {record.job_count:>5} "
             f"{record.wall_clock_seconds:>9.3f} {record.events_processed:>9} "
             f"{record.events_per_second:>10.0f} "
             f"{record.peak_rss_bytes / 1e6:>7.1f}MB {record.cache_hits:>6}"

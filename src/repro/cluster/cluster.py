@@ -72,8 +72,24 @@ class Cluster:
         #: ``(allocation)``; used by the malleability manager to account for
         #: the processors that become available over time.
         self._release_listeners: List = []
+        #: Bound struct-of-arrays mirror (see :meth:`bind_state`); ``None``
+        #: for standalone clusters outside a multicluster.
+        self._state = None
+        self._state_index = -1
         self._record_usage()
         self.availability_series.record(self.env.now, self._total)
+
+    def bind_state(self, state, index: int) -> None:
+        """Mirror this cluster's counters into column *index* of *state*.
+
+        Called by :class:`~repro.cluster.multicluster.Multicluster` at
+        registration; every counter mutation afterwards updates the
+        struct-of-arrays view incrementally.
+        """
+        self._state = state
+        self._state_index = index
+        state.update_usage(index, self._used_grid, self._used_local)
+        state.update_failed(index, self._failed)
 
     # -- capacity bookkeeping ------------------------------------------------
 
@@ -129,8 +145,13 @@ class Cluster:
 
     @property
     def active_allocations(self) -> List[Allocation]:
-        """Allocations currently held, oldest first."""
-        return sorted(self._allocations.values(), key=lambda a: a.granted_at)
+        """Allocations currently held, oldest first.
+
+        Grant times are non-decreasing and the allocation map preserves
+        insertion order, so registration order *is* oldest-first (a stable
+        sort on ``granted_at`` would return exactly this list).
+        """
+        return list(self._allocations.values())
 
     # -- allocate / release ----------------------------------------------------
 
@@ -152,6 +173,8 @@ class Cluster:
         else:
             self._used_local += processors
         self._allocations[allocation.allocation_id] = allocation
+        if self._state is not None:
+            self._state.update_usage(self._state_index, self._used_grid, self._used_local)
         self._record_usage()
         return allocation
 
@@ -175,6 +198,8 @@ class Cluster:
         else:
             self._used_local -= allocation.processors
         allocation.released_at = self.env.now
+        if self._state is not None:
+            self._state.update_usage(self._state_index, self._used_grid, self._used_local)
         self._record_usage()
         for listener in list(self._release_listeners):
             listener(allocation)
@@ -182,7 +207,7 @@ class Cluster:
 
     def when_released(self) -> Event:
         """Return an event that triggers the next time processors are released."""
-        event = self.env.event()
+        event = Event(self.env)
         self._release_waiters.append(event)
         return event
 
@@ -210,6 +235,8 @@ class Cluster:
         if processors == 0:
             return
         self._failed += processors
+        if self._state is not None:
+            self._state.update_failed(self._state_index, self._failed)
         self.availability_series.record(self.env.now, self._total - self._failed)
 
     def mark_repaired(self, processors: int) -> None:
@@ -224,6 +251,8 @@ class Cluster:
         if processors == 0:
             return
         self._failed -= processors
+        if self._state is not None:
+            self._state.update_failed(self._state_index, self._failed)
         self.availability_series.record(self.env.now, self._total - self._failed)
         # Repaired capacity behaves like released capacity to anyone waiting
         # for processors (the local resource manager, the malleability
@@ -239,10 +268,28 @@ class Cluster:
                 event.succeed(self.idle_processors)
 
     def _record_usage(self) -> None:
-        now = self.env.now
-        self.usage_series.record(now, self.used_processors)
-        self.grid_usage_series.record(now, self._used_grid)
-        self.local_usage_series.record(now, self._used_local)
+        # Inlined ``TimeSeries.record`` (×3): every allocate/release lands
+        # here, and the step functions share one timestamp, so the in-order
+        # and same-instant checks are done once instead of per series.
+        now = self.env._now
+        grid = self._used_grid
+        local = self._used_local
+        series = self.usage_series
+        times = series.times
+        if times and times[-1] == now:
+            series.values[-1] = float(grid + local)
+            self.grid_usage_series.values[-1] = float(grid)
+            self.local_usage_series.values[-1] = float(local)
+            return
+        now = float(now)
+        times.append(now)
+        series.values.append(float(grid + local))
+        series = self.grid_usage_series
+        series.times.append(now)
+        series.values.append(float(grid))
+        series = self.local_usage_series
+        series.times.append(now)
+        series.values.append(float(local))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         failed = f", failed={self._failed}" if self._failed else ""

@@ -149,7 +149,7 @@ class GramEndpoint:
         job = GramJob(owner=owner, processors=int(processors))
         job.submitted_at = self.env.now
         self.jobs.append(job)
-        done = self.env.event()
+        done = Event(self.env)
         self.env.process(self._submission(job, done))
         return done
 

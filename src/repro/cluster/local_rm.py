@@ -91,7 +91,7 @@ class LocalResourceManager:
     def submit(self, job: LocalJob) -> Event:
         """Queue *job*; returns an event that succeeds (with the job) at completion."""
         job.submit_time = self.env.now
-        done = self.env.event()
+        done = Event(self.env)
         self._completion_events[job.job_id] = done
         self._queue.append(job)
         self._kick()
@@ -139,7 +139,7 @@ class LocalResourceManager:
             self._start_eligible_jobs()
             # Sleep until either a new submission arrives or processors are
             # released on the cluster.
-            self._wakeup = self.env.event()
+            self._wakeup = Event(self.env)
             released = self.cluster.when_released()
             yield self._wakeup | released
             self._wakeup = None

@@ -17,6 +17,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.gram import GramEndpoint
 from repro.cluster.local_rm import LocalResourceManager
 from repro.cluster.network import NetworkModel
+from repro.cluster.state import ClusterState
 from repro.sim.core import Environment
 from repro.sim.monitor import merge_step_functions
 from repro.sim.rng import RandomStreams
@@ -66,6 +67,11 @@ class Multicluster:
         self._local_rms: Dict[str, LocalResourceManager] = {}
         self._gram: Dict[str, GramEndpoint] = {}
         self._background: Dict[str, BackgroundLoadGenerator] = {}
+        #: Struct-of-arrays mirror of the member clusters' capacity counters
+        #: (see :mod:`repro.cluster.state`); the KIS, the scheduler and the
+        #: placement fast paths read it instead of scanning cluster objects.
+        self.state = ClusterState()
+        self._cluster_names: List[str] = []
         #: File replica catalogue: file name -> set of cluster names holding it.
         self.replica_catalogue: Dict[str, set] = {}
 
@@ -87,6 +93,8 @@ class Multicluster:
             self.env, name, processors, location=location, interconnect=interconnect
         )
         self._clusters[name] = cluster
+        self._cluster_names.append(name)
+        cluster.bind_state(self.state, self.state.register(name, processors))
         self._local_rms[name] = LocalResourceManager(
             self.env, cluster, backfilling=self.local_backfilling
         )
@@ -126,8 +134,12 @@ class Multicluster:
 
     @property
     def cluster_names(self) -> List[str]:
-        """Names of all member clusters, in registration order."""
-        return list(self._clusters.keys())
+        """Names of all member clusters, in registration order.
+
+        The returned list is shared (clusters are never removed); callers
+        that want to mutate it must copy.
+        """
+        return self._cluster_names
 
     def cluster(self, name: str) -> Cluster:
         """The cluster registered under *name*."""

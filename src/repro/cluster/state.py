@@ -1,0 +1,199 @@
+"""Struct-of-arrays hot state of a multicluster.
+
+Profiling (see ``repro-bench --profile``) shows the kernel spends most of a
+run answering one question over and over: *how many processors are idle per
+cluster, minus the pending claims?*  Every KIS poll, every placement and
+every grow decision rebuilt that answer as a fresh dict comprehension over
+cluster objects — thousands of times per simulated hour.
+
+:class:`ClusterState` inverts that: the per-cluster capacity counters live in
+numpy columns (**struct of arrays**), updated incrementally at the four
+mutation points of a cluster (allocate, release, fail, repair) plus the claim
+ledger's reserve/settle/adjust.  The derived quantities every hot reader
+wants — the idle view and the claim-adjusted *effective* idle view — are
+maintained in place at the same time, so reads are plain attribute access
+with no per-read rebuild, and the Worst-Fit processor selection is a
+vectorized argmax over the effective column.
+
+Invariants
+----------
+* ``idle[i] == max(0, total[i] - failed[i] - used_grid[i] - used_local[i])``
+  after every mutation (the clamp mirrors
+  :attr:`repro.cluster.cluster.Cluster.idle_processors`);
+* ``effective[i] == max(0, idle[i] - pending[i])`` after every mutation
+  (mirrors :meth:`repro.koala.claiming.ClaimLedger.effective_idle`);
+* :meth:`idle_view` and :meth:`effective_view` return **shared, read-only**
+  dicts that always reflect the invariants above.  Callers that retain or
+  mutate a view must copy it (``dict(view)``); the KIS snapshot does exactly
+  that, which is what preserves its deliberate staleness semantics.
+
+The cluster objects remain the source of truth for their own counters; the
+state is a bound mirror (see :meth:`repro.cluster.cluster.Cluster.bind_state`),
+so standalone clusters — unit tests construct them without a multicluster —
+work unchanged with no state attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class ClusterState:
+    """Incrementally maintained per-cluster capacity columns.
+
+    Columns are ``int64`` numpy arrays indexed by cluster registration
+    order; :meth:`register` returns the index a cluster (or the claim
+    ledger) uses for its updates.
+    """
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self.total = np.zeros(0, dtype=np.int64)
+        self.failed = np.zeros(0, dtype=np.int64)
+        self.used_grid = np.zeros(0, dtype=np.int64)
+        self.used_local = np.zeros(0, dtype=np.int64)
+        self.pending = np.zeros(0, dtype=np.int64)
+        #: Derived column: idle (clamped at zero) processors per cluster.
+        self.idle = np.zeros(0, dtype=np.int64)
+        #: Derived column: idle minus pending claims (clamped at zero).
+        self.effective = np.zeros(0, dtype=np.int64)
+        #: Shared read-only dict views of the derived columns (see module doc).
+        self._idle_view: Dict[str, int] = {}
+        self._effective_view: Dict[str, int] = {}
+        #: Cluster indices in name order — the Worst-Fit tie-break order.
+        self._name_order = np.zeros(0, dtype=np.int64)
+        #: Plain-int shadows of the input columns.  Mutations do their
+        #: arithmetic here (reading an ``int64`` cell materialises a numpy
+        #: scalar, which costs more than the subtraction it feeds) and write
+        #: the numpy cells afterwards, so the columns stay current for
+        #: vectorized readers without ever being read back per mutation.
+        self._total_i: List[int] = []
+        self._failed_i: List[int] = []
+        self._pending_i: List[int] = []
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str, total_processors: int) -> int:
+        """Add a cluster column; returns its index."""
+        if name in self._index:
+            raise ValueError(f"cluster {name!r} already registered")
+        index = len(self.names)
+        self.names.append(name)
+        self._index[name] = index
+        for column in ("total", "failed", "used_grid", "used_local",
+                       "pending", "idle", "effective"):
+            setattr(self, column, np.append(getattr(self, column), 0))
+        self.total[index] = int(total_processors)
+        self._total_i.append(int(total_processors))
+        self._failed_i.append(0)
+        self._pending_i.append(0)
+        self._name_order = np.array(
+            sorted(range(len(self.names)), key=self.names.__getitem__),
+            dtype=np.int64,
+        )
+        self.update_usage(index, 0, 0)
+        return index
+
+    def index_of(self, name: str) -> int:
+        """Column index of cluster *name*."""
+        return self._index[name]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    # -- mutations ------------------------------------------------------------
+
+    def update_usage(self, index: int, used_grid: int, used_local: int) -> None:
+        """A cluster's allocation counters changed (allocate/release)."""
+        self.used_grid[index] = used_grid
+        self.used_local[index] = used_local
+        idle = self._total_i[index] - self._failed_i[index] - used_grid - used_local
+        if idle < 0:
+            idle = 0
+        effective = idle - self._pending_i[index]
+        if effective < 0:
+            effective = 0
+        self.idle[index] = idle
+        self.effective[index] = effective
+        name = self.names[index]
+        self._idle_view[name] = idle
+        self._effective_view[name] = effective
+
+    def update_failed(self, index: int, failed: int) -> None:
+        """A cluster's failed-processor count changed (fault/repair)."""
+        self.failed[index] = failed
+        self._failed_i[index] = failed
+        idle = (
+            self._total_i[index]
+            - failed
+            - int(self.used_grid[index])
+            - int(self.used_local[index])
+        )
+        if idle < 0:
+            idle = 0
+        effective = idle - self._pending_i[index]
+        if effective < 0:
+            effective = 0
+        self.idle[index] = idle
+        self.effective[index] = effective
+        name = self.names[index]
+        self._idle_view[name] = idle
+        self._effective_view[name] = effective
+
+    def update_pending(self, name: str, pending: int) -> None:
+        """The claim ledger's pending total for *name* changed."""
+        index = self._index[name]
+        self.pending[index] = pending
+        self._pending_i[index] = pending
+        idle = self._idle_view[name]
+        effective = idle - pending
+        if effective < 0:
+            effective = 0
+        self.effective[index] = effective
+        self._effective_view[name] = effective
+
+    # -- reads ----------------------------------------------------------------
+
+    def idle_view(self) -> Dict[str, int]:
+        """Shared read-only ``{name: idle}`` view (copy before retaining)."""
+        return self._idle_view
+
+    def effective_view(self) -> Dict[str, int]:
+        """Shared read-only ``{name: idle - pending}`` view (copy before retaining)."""
+        return self._effective_view
+
+    def idle_of(self, name: str) -> int:
+        """Idle processors of one cluster."""
+        return self._idle_view[name]
+
+    def effective_of(self, name: str) -> int:
+        """Effective idle processors of one cluster."""
+        return self._effective_view[name]
+
+    def total_idle(self) -> int:
+        """System-wide idle processors."""
+        return int(self.idle.sum())
+
+    # -- vectorized selections -------------------------------------------------
+
+    def select_worst_fit(self, processors: int) -> Optional[str]:
+        """Cluster with the most effective-idle processors that fits *processors*.
+
+        Ties break towards the lexicographically smallest name — identical to
+        sorting candidates by ``(-idle, name)`` and taking the first, which
+        is what :class:`repro.koala.placement.WorstFit` historically did.
+        Returns ``None`` when no cluster fits.
+        """
+        order = self._name_order
+        effective = self.effective[order]
+        best = int(np.argmax(effective))
+        if effective[best] < processors:
+            return None
+        return self.names[int(order[best])]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        busy = int(self.used_grid.sum() + self.used_local.sum())
+        return f"<ClusterState {len(self)} clusters, {busy} busy, {self.total_idle()} idle>"

@@ -48,6 +48,16 @@ class ClaimLedger:
     def __init__(self) -> None:
         self._pending: Dict[int, PendingClaim] = {}
         self._cluster_pending: Dict[str, int] = {}
+        #: Bound struct-of-arrays state (see :meth:`bind_state`); when set,
+        #: every pending-total change is mirrored into its ``pending`` column
+        #: so the effective-idle view stays incrementally maintained.
+        self._state = None
+
+    def bind_state(self, state) -> None:
+        """Mirror per-cluster pending totals into *state* from now on."""
+        self._state = state
+        for cluster, pending in self._cluster_pending.items():
+            state.update_pending(cluster, pending)
 
     # -- registration ------------------------------------------------------
 
@@ -58,14 +68,19 @@ class ClaimLedger:
         claim = PendingClaim(cluster=cluster, processors=int(processors), owner=owner)
         self._pending[claim.claim_id] = claim
         pending = self._cluster_pending
-        pending[cluster] = pending.get(cluster, 0) + claim.processors
+        pending[cluster] = total = pending.get(cluster, 0) + claim.processors
+        if self._state is not None:
+            self._state.update_pending(cluster, total)
         return claim
 
     def settle(self, claim: PendingClaim) -> None:
         """Clear *claim* (GRAM has granted or definitively refused it)."""
         removed = self._pending.pop(claim.claim_id, None)
         if removed is not None:
-            self._cluster_pending[removed.cluster] -= removed.processors
+            pending = self._cluster_pending
+            pending[removed.cluster] = total = pending[removed.cluster] - removed.processors
+            if self._state is not None:
+                self._state.update_pending(removed.cluster, total)
 
     def adjust(self, claim: PendingClaim, processors: int) -> None:
         """Change the size of a pending claim (e.g. partial grant so far)."""
@@ -73,8 +88,13 @@ class ClaimLedger:
             self.settle(claim)
             return
         if claim.claim_id in self._pending:
-            self._cluster_pending[claim.cluster] += int(processors) - claim.processors
+            pending = self._cluster_pending
+            pending[claim.cluster] = total = (
+                pending[claim.cluster] + int(processors) - claim.processors
+            )
             claim.processors = int(processors)
+            if self._state is not None:
+                self._state.update_pending(claim.cluster, total)
 
     # -- queries -------------------------------------------------------------
 

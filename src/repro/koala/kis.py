@@ -24,9 +24,15 @@ class ProcessorInformationProvider:
 
     def __init__(self, multicluster: Multicluster) -> None:
         self.multicluster = multicluster
+        #: Struct-of-arrays mirror of the clusters' counters; its idle view
+        #: is maintained incrementally, so a poll is a plain dict copy
+        #: instead of a property scan over every cluster object.
+        self._state = getattr(multicluster, "state", None)
 
     def idle_processors(self) -> Dict[str, int]:
         """Current idle processors per cluster (ground truth at call time)."""
+        if self._state is not None:
+            return dict(self._state.idle_view())
         return {cluster.name: cluster.idle_processors for cluster in self.multicluster}
 
     def total_processors(self) -> Dict[str, int]:
@@ -105,6 +111,9 @@ class KoalaInformationService:
         self.rls = ReplicaLocationService(multicluster)
         self._snapshot = KisSnapshot(time=env.now, idle_processors=self.pip.idle_processors())
         self._subscribers: List[Callable[[KisSnapshot], None]] = []
+        #: Immutable snapshot of the subscriber list, rebuilt on ``on_poll``;
+        #: the poll loop iterates it without a defensive per-poll copy.
+        self._subscriber_snapshot: tuple = ()
         self._poll_process = env.process(self._poll_loop())
 
     # -- polling --------------------------------------------------------------
@@ -112,15 +121,16 @@ class KoalaInformationService:
     def on_poll(self, callback: Callable[[KisSnapshot], None]) -> None:
         """Register *callback* to be invoked after every PIP poll."""
         self._subscribers.append(callback)
+        self._subscriber_snapshot = tuple(self._subscribers)
 
     def poll_now(self) -> KisSnapshot:
         """Force an immediate poll (used when jobs finish, to react faster)."""
-        self._snapshot = KisSnapshot(
+        self._snapshot = snapshot = KisSnapshot(
             time=self.env.now, idle_processors=self.pip.idle_processors()
         )
-        for callback in list(self._subscribers):
-            callback(self._snapshot)
-        return self._snapshot
+        for callback in self._subscriber_snapshot:
+            callback(snapshot)
+        return snapshot
 
     def _poll_loop(self):
         while True:

@@ -119,6 +119,24 @@ class WorstFit(PlacementPolicy):
         idle_processors: Dict[str, int],
         multicluster: Multicluster,
     ) -> PlacementDecision:
+        components = job.components
+        if len(components) == 1:
+            # Single-component jobs (all of the paper's workloads) on the
+            # live effective-idle view: a vectorized argmax over the
+            # struct-of-arrays state, with the same (-idle, name) tie-break.
+            state = getattr(multicluster, "state", None)
+            if state is not None and idle_processors is state.effective_view():
+                component = components[0]
+                chosen = state.select_worst_fit(component.processors)
+                if chosen is None:
+                    return PlacementDecision.failure(
+                        job,
+                        f"no cluster has {component.processors} idle processors "
+                        f"for component 0",
+                    )
+                decision = PlacementDecision(job=job)
+                decision.placements[0] = (chosen, component.processors)
+                return decision
         remaining = dict(idle_processors)
         decision = PlacementDecision(job=job)
         for index, component in self._component_requests(job):

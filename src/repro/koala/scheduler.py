@@ -182,6 +182,12 @@ class KoalaScheduler:
             env, multicluster, poll_interval=self.config.poll_interval
         )
         self.ledger = ClaimLedger()
+        #: Struct-of-arrays state of the multicluster; the ledger mirrors its
+        #: pending totals into it, which keeps ``state.effective_view()`` —
+        #: the view every placement and grow decision reads — incrementally
+        #: maintained instead of rebuilt per query.
+        self._state = multicluster.state
+        self.ledger.bind_state(self._state)
         self.queue = PlacementQueue(max_tries=self.config.max_placement_tries)
         self.runners = RunnersFramework(
             env,
@@ -267,8 +273,14 @@ class KoalaScheduler:
         return self.multicluster.cluster_names
 
     def effective_idle_processors(self) -> Dict[str, int]:
-        """Idle processors per cluster with pending claims subtracted."""
-        return self.ledger.effective_idle(self.kis.idle_processors(fresh=True))
+        """Idle processors per cluster with pending claims subtracted.
+
+        Served from the incrementally maintained struct-of-arrays view —
+        equal, entry for entry, to
+        ``ledger.effective_idle(kis.idle_processors(fresh=True))``.  The
+        returned dict is shared and read-only; copy before mutating.
+        """
+        return self._state.effective_view()
 
     def running_malleable_runners(self, cluster_name: str) -> List[MalleableRunner]:
         """Running malleable runners placed on *cluster_name*."""
@@ -276,6 +288,16 @@ class KoalaScheduler:
         if not runners:
             return []
         return [runner for runner in runners if runner.is_running]
+
+    def running_malleable_index(self) -> Dict[str, List[MalleableRunner]]:
+        """The per-cluster index of started malleable runners (read-only).
+
+        Entries may contain runners that are no longer ``is_running``; use
+        :meth:`running_malleable_runners` for the filtered view.  The
+        malleability manager consults this index to skip clusters with no
+        malleable runners at all without a per-cluster call.
+        """
+        return self._running_malleable
 
     def running_jobs(self) -> List[Job]:
         """Jobs currently executing."""
@@ -336,6 +358,8 @@ class KoalaScheduler:
 
         Returns the number of jobs for which placement was initiated.
         """
+        if not self.queue:
+            return 0
         placed = 0
         for entry in list(self.queue):
             job = entry.job

@@ -132,11 +132,20 @@ class MalleabilityManager:
         capped by its effective idle count minus the local-user threshold; in
         ``"idle"`` mode it is the effective idle count minus the threshold.
         """
+        if self.offer_mode != "idle":
+            # An empty release account caps the offer at zero before the
+            # idle view is even consulted — the common case on every trigger
+            # between releases.
+            account = self._released_account.get(cluster_name, 0)
+            if account <= 0:
+                return 0
         idle = self.scheduler.effective_idle_processors().get(cluster_name, 0)
-        ceiling = max(0, idle - self.threshold)
+        ceiling = idle - self.threshold
+        if ceiling <= 0:
+            return 0
         if self.offer_mode == "idle":
             return ceiling
-        return min(ceiling, self._released_account.get(cluster_name, 0))
+        return min(ceiling, account)
 
     def grow_cluster(self, cluster_name: str) -> List[GrowDirective]:
         """Plan and execute grow operations on one cluster."""
@@ -157,7 +166,12 @@ class MalleabilityManager:
     def grow_all_clusters(self) -> List[GrowDirective]:
         """Plan and execute grow operations on every cluster."""
         directives: List[GrowDirective] = []
+        running = self.scheduler.running_malleable_index()
         for cluster_name in self.scheduler.cluster_names():
+            if not running.get(cluster_name):
+                # No malleable runner ever started here (or all are gone):
+                # nothing can grow, skip the per-cluster planning round.
+                continue
             directives.extend(self.grow_cluster(cluster_name))
         return directives
 

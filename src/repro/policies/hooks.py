@@ -257,6 +257,11 @@ class HookDispatcher:
     def __init__(self, scheduler: "KoalaScheduler") -> None:
         self.scheduler = scheduler
         self._subscribers: List[Any] = []
+        #: Event type -> tuple of bound hook methods, rebuilt on every
+        #: (un)subscription.  Inherited no-op defaults are filtered out at
+        #: build time, so emitting an event nobody reacts to iterates an
+        #: empty tuple instead of calling every subscriber's no-op.
+        self._dispatch: Dict[type, tuple] = {etype: () for etype in HOOK_METHODS}
 
     @property
     def subscribers(self) -> List[Any]:
@@ -268,6 +273,7 @@ class HookDispatcher:
         if hooks in self._subscribers:
             return
         self._subscribers.append(hooks)
+        self._rebuild_dispatch()
         attach = getattr(hooks, "on_attach", None)
         if attach is not None:
             attach(self.scheduler)
@@ -276,11 +282,27 @@ class HookDispatcher:
         """Remove *hooks* (a no-op when it was never subscribed)."""
         if hooks in self._subscribers:
             self._subscribers.remove(hooks)
+            self._rebuild_dispatch()
+
+    def _rebuild_dispatch(self) -> None:
+        dispatch: Dict[type, tuple] = {}
+        for event_type, method_name in HOOK_METHODS.items():
+            default = getattr(SchedulerHooks, method_name, None)
+            methods = []
+            for hooks in self._subscribers:
+                method = getattr(hooks, method_name, None)
+                if method is None:
+                    continue
+                if getattr(type(hooks), method_name, None) is default:
+                    # The inherited no-op from SchedulerHooks: skip at build
+                    # time rather than calling it on every emit.
+                    continue
+                methods.append(method)
+            dispatch[event_type] = tuple(methods)
+        self._dispatch = dispatch
 
     def emit(self, event: SchedulerEvent) -> None:
         """Deliver *event* to every subscriber implementing its hook."""
-        method_name = HOOK_METHODS[type(event)]
-        for hooks in list(self._subscribers):
-            method = getattr(hooks, method_name, None)
-            if method is not None:
-                method(event, self.scheduler)
+        scheduler = self.scheduler
+        for method in self._dispatch[type(event)]:
+            method(event, scheduler)

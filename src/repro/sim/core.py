@@ -1,7 +1,7 @@
-"""Simulation environment: clock, event heap and execution loop.
+"""Simulation environment: clock, event queue and execution loop.
 
 The :class:`Environment` is the only stateful object a simulation needs to
-share: it keeps the current simulated time, a heap of scheduled events and
+share: it keeps the current simulated time, a queue of scheduled events and
 the currently active process.  Everything else (clusters, schedulers,
 applications) is expressed in terms of processes and events bound to an
 environment.
@@ -18,13 +18,20 @@ resumption, i.e. it was produced by the ubiquitous ``yield env.timeout(d)``
 pattern, in which no reference to the event survives the resumption.
 Timeouts waited on by conditions, interrupted sleeps or ``run(until=...)``
 stop events are never recycled.
+
+The event queue itself is pluggable (see :mod:`repro.sim.calqueue`): a
+calendar/bucket queue by default, the classic binary heap via
+``REPRO_SIM_QUEUE=heap``.  Both produce the identical ``(time, priority,
+insertion_id)`` total order, so simulations are byte-identical across
+implementations.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
 from math import inf
 from typing import Any, Iterable, Optional, Union
+
+from repro.sim.calqueue import make_queue
 
 from repro.sim.events import (
     NORMAL,
@@ -82,9 +89,12 @@ class Environment:
     10
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, queue: Optional[str] = None) -> None:
         self._now: float = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: Pluggable event queue; ``queue`` overrides ``$REPRO_SIM_QUEUE``.
+        self._queue = make_queue(queue)
+        #: Bound ``push`` of the queue, hoisted for the scheduling hot path.
+        self._push = self._queue.push
         self._eid: int = 0
         self._active_process: Optional[Process] = None
         #: Free list of recycled plain-sleep timeouts (see module docstring).
@@ -97,6 +107,11 @@ class Environment:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def queue_name(self) -> str:
+        """Name of the event-queue implementation this environment uses."""
+        return self._queue.name
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -139,7 +154,7 @@ class Environment:
             event._value = value
             event.defused = False
             self._eid = eid = self._eid + 1
-            heappush(self._queue, (self._now + delay, NORMAL, eid, event))
+            self._push((self._now + delay, NORMAL, eid, event))
             return event
         return Timeout(self, delay, value)
 
@@ -164,11 +179,11 @@ class Environment:
         (lower first), then in insertion order.
         """
         self._eid = eid = self._eid + 1
-        heappush(self._queue, (self._now + delay, priority, eid, event))
+        self._push((self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Return the time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else inf
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -179,7 +194,7 @@ class Environment:
             If no events are scheduled.
         """
         try:
-            self._now, _, _, event = heappop(self._queue)
+            self._now, _, _, event = self._queue.pop()
         except IndexError:
             raise EmptySchedule() from None
 
@@ -256,9 +271,8 @@ class Environment:
 
         # Inlined event loop: identical semantics to repeated ``step()``
         # calls, with every per-event lookup hoisted into a local.
-        queue = self._queue
         pool = self._timeout_pool
-        pop = heappop
+        pop = self._queue.pop
         pending = PENDING
         timeout_cls = Timeout
         resume_func = _PROCESS_RESUME
@@ -266,7 +280,7 @@ class Environment:
         try:
             while True:
                 try:
-                    item = pop(queue)
+                    item = pop()
                 except IndexError:
                     if stop_event is not None and not stop_event.triggered:
                         raise RuntimeError(

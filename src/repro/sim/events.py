@@ -120,7 +120,11 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined ``env.schedule(self)``: triggering is one of the hottest
+        # call sites of a run, and the scheduling body is three lines.
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._push((env._now, NORMAL, eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -131,7 +135,9 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._push((env._now, NORMAL, eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -143,7 +149,9 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._push((env._now, NORMAL, eid, self))
 
     # -- composition -----------------------------------------------------
 
@@ -193,7 +201,8 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self.defused = False
-        env.schedule(self, NORMAL, delay)
+        env._eid = eid = env._eid + 1
+        env._push((env._now + delay, NORMAL, eid, self))
 
     @property
     def delay(self) -> float:
@@ -212,7 +221,8 @@ class Initialize(Event):
         self._value = None
         self.callbacks = [process._resume_cb]
         self.defused = False
-        env.schedule(self, URGENT)
+        env._eid = eid = env._eid + 1
+        env._push((env._now, URGENT, eid, self))
 
 
 class ConditionValue:
@@ -282,7 +292,11 @@ class Condition(Event):
         evaluate: Callable[[list[Event], int], bool],
         events: Iterable[Event],
     ) -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
         self._evaluate = evaluate
         self._events = events = list(events)
         self._count = 0
@@ -308,14 +322,16 @@ class Condition(Event):
                     event.defused = True
                     self._ok = False
                     self._value = event._value
-                    env.schedule(self)
+                    env._eid = eid = env._eid + 1
+                    env._push((env._now, NORMAL, eid, self))
                     break
                 if evaluate(events, count):
                     self._ok = True
                     condition_value = ConditionValue()
                     self._populate_value(condition_value)
                     self._value = condition_value
-                    env.schedule(self)
+                    env._eid = eid = env._eid + 1
+                    env._push((env._now, NORMAL, eid, self))
                     break
             else:
                 event.callbacks.append(check)
@@ -348,13 +364,17 @@ class Condition(Event):
             event.defused = True
             self._ok = False
             self._value = event._value
-            self.env.schedule(self)
+            env = self.env
+            env._eid = eid = env._eid + 1
+            env._push((env._now, NORMAL, eid, self))
         elif self._evaluate(self._events, self._count):
             self._ok = True
             condition_value = ConditionValue()
             self._populate_value(condition_value)
             self._value = condition_value
-            self.env.schedule(self)
+            env = self.env
+            env._eid = eid = env._eid + 1
+            env._push((env._now, NORMAL, eid, self))
 
     @staticmethod
     def all_events(events: list[Event], count: int) -> bool:
@@ -385,13 +405,17 @@ class AllOf(Condition):
             event.defused = True
             self._ok = False
             self._value = event._value
-            self.env.schedule(self)
+            env = self.env
+            env._eid = eid = env._eid + 1
+            env._push((env._now, NORMAL, eid, self))
         elif self._count == len(self._events):
             self._ok = True
             condition_value = ConditionValue()
             self._populate_value(condition_value)
             self._value = condition_value
-            self.env.schedule(self)
+            env = self.env
+            env._eid = eid = env._eid + 1
+            env._push((env._now, NORMAL, eid, self))
 
 
 class AnyOf(Condition):
@@ -416,4 +440,6 @@ class AnyOf(Condition):
             condition_value = ConditionValue()
             self._populate_value(condition_value)
             self._value = condition_value
-        self.env.schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._push((env._now, NORMAL, eid, self))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import PENDING, Event, Initialize, Interrupt
+from repro.sim.events import NORMAL, PENDING, Event, Initialize, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.core import Environment
@@ -45,7 +45,13 @@ class Process(Event):
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "throw"):
             raise ValueError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # Inlined ``Event.__init__``: one process is created per simulated
+        # activity, which adds up to thousands of constructions per run.
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
         self._generator = generator
         #: Cached bound method: ``_resume`` is registered as a callback once
         #: per event the process waits on, so creating the bound method once
@@ -119,7 +125,8 @@ class Process(Event):
                 event = None  # type: ignore[assignment]
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self)
+                env._eid = eid = env._eid + 1
+                env._push((env._now, NORMAL, eid, self))
                 break
             except BaseException as exc:
                 # Process failed; the environment will re-raise unless a
@@ -127,7 +134,8 @@ class Process(Event):
                 event = None  # type: ignore[assignment]
                 self._ok = False
                 self._value = exc
-                env.schedule(self)
+                env._eid = eid = env._eid + 1
+                env._push((env._now, NORMAL, eid, self))
                 break
 
             # The generator yielded a new event to wait for.

@@ -39,6 +39,8 @@ class PreemptedError(Exception):
 class Put(Event):
     """Base class for put-style resource events (request/put)."""
 
+    __slots__ = ("resource", "proc")
+
     def __init__(self, resource: "BaseResource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -61,6 +63,8 @@ class Put(Event):
 
 class Get(Event):
     """Base class for get-style resource events (release/get)."""
+
+    __slots__ = ("resource", "proc")
 
     def __init__(self, resource: "BaseResource") -> None:
         super().__init__(resource.env)
@@ -147,6 +151,8 @@ class Request(Put):
     calling :meth:`cancel` after the grant) releases the slot again.
     """
 
+    __slots__ = ()
+
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         if self.triggered:
             self.resource.release(self)
@@ -156,6 +162,8 @@ class Request(Put):
 
 class Release(Get):
     """Release a previously granted :class:`Request` of a :class:`Resource`."""
+
+    __slots__ = ("request",)
 
     def __init__(self, resource: "Resource", request: Request) -> None:
         self.request = request
@@ -167,6 +175,8 @@ class PriorityRequest(Request):
 
     Ties are broken by request time, then insertion order.
     """
+
+    __slots__ = ("priority", "preempt", "time", "usage_since", "key")
 
     def __init__(self, resource: "Resource", priority: int = 0, preempt: bool = False) -> None:
         self.priority = priority
@@ -250,6 +260,8 @@ class PriorityResource(Resource):
 class ContainerPut(Put):
     """Put *amount* units into a :class:`Container`."""
 
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError(f"amount ({amount}) must be positive")
@@ -259,6 +271,8 @@ class ContainerPut(Put):
 
 class ContainerGet(Get):
     """Take *amount* units out of a :class:`Container`."""
+
+    __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
@@ -318,6 +332,8 @@ class Container(BaseResource):
 class StorePut(Put):
     """Put *item* into a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         self.item = item
         super().__init__(store)
@@ -326,9 +342,13 @@ class StorePut(Put):
 class StoreGet(Get):
     """Get an item out of a :class:`Store`."""
 
+    __slots__ = ()
+
 
 class FilterStoreGet(StoreGet):
     """Get the first item matching *filter_fn* out of a :class:`FilterStore`."""
+
+    __slots__ = ("filter",)
 
     def __init__(
         self, store: "FilterStore", filter_fn: Callable[[Any], bool] = lambda item: True

@@ -6,34 +6,17 @@ can be read straight from the benchmark output.
 
 The experiments default to a reduced job count so the whole harness runs in a
 few minutes; set ``REPRO_BENCH_JOBS=300`` (the paper's size) for full-scale
-runs and ``REPRO_BENCH_SEED`` to change the seed.
+runs and ``REPRO_BENCH_SEED`` to change the seed.  The knobs themselves live
+in :mod:`_bench_env` so benchmark modules can import them by name.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from _bench_env import bench_jobs, bench_procs, bench_seed
 
-def bench_jobs(default: int = 120) -> int:
-    """Number of jobs per workload used by the benchmark experiments."""
-    return int(os.environ.get("REPRO_BENCH_JOBS", default))
-
-
-def bench_seed() -> int:
-    """Root seed used by the benchmark experiments."""
-    return int(os.environ.get("REPRO_BENCH_SEED", 0))
-
-
-def bench_procs() -> int:
-    """Worker processes used for the shared figure sweeps.
-
-    The timed benchmarks stay serial so the numbers mean something; the
-    session-scoped fixtures below only *prepare* results, so they may fan out
-    (``REPRO_BENCH_PROCS=4``) to cut harness wall-clock.
-    """
-    return int(os.environ.get("REPRO_BENCH_PROCS", 1))
+__all__ = ["bench_jobs", "bench_procs", "bench_seed"]
 
 
 @pytest.fixture(scope="session")

@@ -22,7 +22,7 @@ from repro.experiments.ablations import (
     run_threshold_ablation,
 )
 
-from conftest import bench_jobs, bench_seed
+from _bench_env import bench_jobs, bench_seed
 
 pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
 

@@ -15,7 +15,7 @@ from repro.experiments import run_figure7
 from repro.experiments.figure7 import figure7_report
 from repro.metrics.reports import cdf_probe_table, comparison_table
 
-from conftest import bench_jobs, bench_seed
+from _bench_env import bench_jobs, bench_seed
 
 pytestmark = pytest.mark.bench  # deselected by default (see pyproject.toml); run with -m bench
 

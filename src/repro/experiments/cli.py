@@ -64,6 +64,16 @@ or strike any run with node churn / an availability trace::
     repro-cli custom --fault 'fault:outage?cluster=delft&at=1800&duration=900'
     repro-cli sweep figure7 --fault-trace outages.flt
 
+The experiment service: start a long-running daemon owning a worker pool
+and the content-addressed result store, then submit work to it from any
+number of concurrent clients (identical configs deduplicate and coalesce)::
+
+    repro-cli serve --workers 4 --store-budget 512M &
+    repro-cli client status
+    repro-cli client run-and-wait --workload Wm --policy EGS --job-count 40
+    repro-cli client submit --workload Wmr --seeds 0 1 2 3
+    repro-cli client shutdown
+
 Runs that hit the simulation time limit before every job finished print a
 WARNING to stderr and carry ``"truncated": true`` in their result JSON.
 """
@@ -415,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", action="store_true", help="emit per-job CSV (all runs concatenated)"
     )
 
+    from repro.service.cli import add_client_parser, add_serve_parser
+
+    add_serve_parser(subparsers)
+    add_client_parser(subparsers)
+
     custom = subparsers.add_parser(
         "custom", help="run a single custom configuration outside any scenario"
     )
@@ -564,6 +579,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except Exception as error:  # registration errors included, not just ImportError
             parser.error(f"cannot import policy module: {error}")
             return 2  # pragma: no cover - parser.error raises
+
+    if args.command in ("serve", "client"):
+        from repro.service.cli import cmd_client, cmd_serve
+
+        return cmd_serve(args) if args.command == "serve" else cmd_client(args)
 
     if args.command == "list-scenarios":
         report = _list_scenarios_report()

@@ -103,47 +103,63 @@ def record_to_result(record: Dict[str, Any]) -> ExperimentResult:
 
 
 class ResultCache:
-    """On-disk store of experiment results, one JSON file per configuration."""
+    """On-disk cache of experiment results over the service's content store.
 
-    def __init__(self, directory: Union[str, Path, None] = None) -> None:
-        self.directory = Path(directory) if directory is not None else default_cache_dir()
+    A thin experiment-typed wrapper around
+    :class:`repro.service.store.ResultStore`: this class maps configurations
+    to content keys and results to wire records, the store provides the
+    durable layer — atomic writes, cross-process file locking, a
+    ``schema_version`` field with graceful invalidation (old or corrupt
+    records are misses, never errors) and optional LRU size bounding.  The
+    experiment daemon shares the same store class, so cached, daemon,
+    serial and parallel results stay byte-identical.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        *,
+        budget_bytes: Union[str, int, None] = None,
+    ) -> None:
+        from repro.service.store import ResultStore
+
+        self.backend = ResultStore(
+            Path(directory) if directory is not None else default_cache_dir(),
+            budget_bytes=budget_bytes,
+        )
+
+    @property
+    def directory(self) -> Path:
+        """The store directory (for messages and tooling)."""
+        return self.backend.directory
 
     def path_for(self, config: ExperimentConfig) -> Path:
         """The cache file a result for *config* lives in (existing or not)."""
-        return self.directory / f"{config_key(config)}.json"
+        return self.backend.path_for(config_key(config))
 
     def load(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
         """The cached result for *config*, or ``None`` on a miss.
 
-        Unreadable or truncated cache files count as misses: the cache is an
-        accelerator, never a source of errors.
+        Unreadable, truncated or schema-incompatible cache files count as
+        misses: the cache is an accelerator, never a source of errors.
         """
-        path = self.path_for(config)
-        try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        record = self.backend.get(config_key(config))
+        if record is None:
             return None
-        return record_to_result(record)
+        try:
+            return record_to_result(record)
+        except (KeyError, TypeError, ValueError):
+            # A structurally valid envelope whose record does not round-trip
+            # (e.g. hand-edited): same policy as corruption — a miss.
+            return None
 
     def store(self, result: ExperimentResult) -> Path:
         """Persist *result*; returns the cache file written."""
-        path = self.path_for(result.config)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(
-            json.dumps(result_to_record(result), sort_keys=True), encoding="utf-8"
-        )
-        os.replace(tmp, path)  # atomic: concurrent sweeps never see partial files
-        return path
+        return self.backend.put(config_key(result.config), result_to_record(result))
 
     def clear(self) -> int:
         """Delete every cached result; returns the number of files removed."""
-        removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
-        return removed
+        return self.backend.clear()
 
 
 def _execute_record(config_data: Dict[str, Any]) -> Dict[str, Any]:

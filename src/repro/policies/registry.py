@@ -86,6 +86,7 @@ def _ensure_builtins() -> None:
     import repro.malleability.policies  # noqa: F401  (registers FPSMA/EGS/...)
     import repro.policies.average_steal  # noqa: F401  (registers AVERAGE_STEAL)
     import repro.policies.backfilling  # noqa: F401  (registers EASY)
+    import repro.policies.sjf  # noqa: F401  (registers SJF)
     extra = os.environ.get(POLICY_MODULES_ENV)
     if extra:
         load_policy_modules(part for part in extra.split(os.pathsep) if part)

@@ -1,0 +1,162 @@
+"""Shortest-Job-First placement, ported from wagomu's ``rigid_shortest_job_first``.
+
+The wagomu malleable-job-scheduling study ships a rigid baseline that orders
+the pending queue by expected runtime instead of arrival: the shortest
+waiting job is always served first, and longer jobs only start once no
+shorter job fits.  SJF minimises mean response time on a single queue at the
+cost of fairness (long jobs can starve under a steady stream of short ones)
+— exactly the trade-off the tournament harness wants to measure against the
+paper's FCFS-based policies.
+
+Like the EASY port, this is a *single-file policy*: the ``@register``
+decorator below is everything needed to make ``SJF`` available to
+``SchedulerConfig``/``ExperimentConfig``, every scenario sweep, the
+``repro-cli`` flags and the result-cache keys.
+
+Mechanics: the scheduler scans its placement queue FCFS and asks the policy
+about each job in turn; this policy *defers* any job that should not run yet
+(some shorter job is still waiting), which holds it in the queue penalty-free
+(no placement-retry cost) until its turn comes.  Two variants:
+
+* greedy (default, wagomu's behaviour): a longer job may start when every
+  shorter waiting job provably cannot be placed right now — SJF order with
+  first-fit skipping, no idle capacity wasted;
+* ``strict=True``: a longer job never overtakes a shorter waiting one, even
+  into processors the shorter job cannot use (textbook SJF, may idle
+  resources).
+
+Runtime estimates come from the application profiles' speedup models
+(``execution_time`` at the requested size), the same heuristic source EASY
+backfilling uses: estimates only affect *order*, never correctness.
+
+Used standalone (no scheduler attached) the policy degrades to plain
+Worst-Fit FCFS, again matching EASY.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.koala.job import Job, JobState
+from repro.koala.placement import PlacementDecision, PlacementPolicy, WorstFit
+from repro.policies.hooks import SchedulerHooks
+from repro.policies.registry import register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.multicluster import Multicluster
+    from repro.koala.scheduler import KoalaScheduler
+
+
+@register("placement", "SJF", aliases=("RIGID_SJF", "SHORTEST-JOB-FIRST"))
+class ShortestJobFirst(PlacementPolicy, SchedulerHooks):
+    """Serve the placement queue shortest-estimated-runtime first.
+
+    Parameters
+    ----------
+    strict:
+        ``False`` (default) is wagomu's greedy variant: a longer job may
+        start while a shorter one waits *only* when the shorter job cannot
+        be placed in the current idle view anyway.  ``True`` never lets a
+        longer job overtake a shorter waiting one.
+    """
+
+    name = "SJF"
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = bool(strict)
+        self._scheduler: Optional["KoalaScheduler"] = None
+        self._worst_fit = WorstFit()
+
+    # -- scheduler hooks -----------------------------------------------------
+
+    def on_attach(self, scheduler: "KoalaScheduler") -> None:
+        self._scheduler = scheduler
+
+    # -- placement -----------------------------------------------------------
+
+    def place(
+        self,
+        job: Job,
+        idle_processors: Dict[str, int],
+        multicluster: "Multicluster",
+    ) -> PlacementDecision:
+        scheduler = self._scheduler
+        if scheduler is None:
+            # Standalone use: no queue context, behave as Worst-Fit FCFS.
+            return self._worst_fit.place(job, idle_processors, multicluster)
+
+        blocker = self._shorter_waiting_job(job, idle_processors, scheduler)
+        if blocker is not None:
+            # A hold, not a capacity failure: the job waits its SJF turn
+            # without burning placement retries.
+            return PlacementDecision.deferral(
+                job,
+                f"SJF holds {job.name!r}: shorter job {blocker.name!r} "
+                f"is still waiting",
+            )
+        return self._worst_fit.place(job, idle_processors, multicluster)
+
+    # -- SJF order -----------------------------------------------------------
+
+    def _shorter_waiting_job(
+        self,
+        job: Job,
+        idle_processors: Dict[str, int],
+        scheduler: "KoalaScheduler",
+    ) -> Optional[Job]:
+        """The waiting job that outranks *job*, or ``None`` when it may run.
+
+        Rank is (estimated runtime, queue position): the queue position
+        tie-break keeps the order total and deterministic, so two jobs with
+        identical estimates resolve FCFS.  In greedy mode a shorter job
+        only blocks while it could actually be placed into the current idle
+        view.
+        """
+        ranked = self._ranked_queue(scheduler)
+        job_rank = None
+        for rank, (_, candidate) in enumerate(ranked):
+            if candidate is job:
+                job_rank = rank
+                break
+        if job_rank is None:
+            # Not in the queue (e.g. a direct placement probe): no SJF rank
+            # to respect.
+            return None
+        for _, shorter in ranked[:job_rank]:
+            if self.strict or self._could_place(shorter, idle_processors):
+                return shorter
+        return None
+
+    def _ranked_queue(
+        self, scheduler: "KoalaScheduler"
+    ) -> List[Tuple[float, Job]]:
+        """The still-queued jobs, shortest estimated runtime first."""
+        ranked: List[Tuple[float, Job]] = []
+        for entry in scheduler.queue:
+            if entry.job.state is not JobState.QUEUED:
+                continue
+            ranked.append((self._estimated_runtime(entry.job), entry.job))
+        # sort() is stable, so equal estimates keep their FCFS queue order.
+        ranked.sort(key=lambda pair: pair[0])
+        return ranked
+
+    @staticmethod
+    def _could_place(job: Job, idle_processors: Dict[str, int]) -> bool:
+        """Whether *job* fits the current idle view (Worst-Fit feasibility).
+
+        Component by component against a copy of the idle counts — the same
+        greedy largest-component-first packing Worst-Fit itself performs, so
+        "could be placed" and "would be placed" agree.
+        """
+        remaining = dict(idle_processors)
+        for _, component in PlacementPolicy._component_requests(job):
+            best = max(remaining, key=remaining.get, default=None)
+            if best is None or remaining[best] < component.processors:
+                return False
+            remaining[best] -= component.processors
+        return True
+
+    @staticmethod
+    def _estimated_runtime(job: Job) -> float:
+        """Estimated runtime of a waiting job at its requested size."""
+        return float(job.profile.execution_time(max(1, job.total_processors)))

@@ -1,0 +1,584 @@
+"""The experiment daemon: an asyncio service over the scenario engine.
+
+One long-running process owns a worker pool and a
+:class:`~repro.service.store.ResultStore`; any number of clients connect
+over a local socket and speak the newline-delimited JSON protocol of
+:mod:`repro.service.protocol`.  The daemon's contract:
+
+* **Content addressing.**  A submission is identified by
+  :func:`repro.experiments.engine.config_key` — the SHA-256 of its
+  canonical configuration plus the code version.  Identical configs are the
+  *same job* no matter who submits them.
+* **Deduplication.**  A submit first consults the store (results computed
+  by any previous run, daemon or standalone sweep), then the in-flight
+  table: a config that is already queued or running *coalesces* — the new
+  client attaches to the existing run instead of spawning a duplicate
+  worker.  N concurrent submits of one config execute exactly once.
+* **Byte identity.**  Workers execute
+  :func:`repro.experiments.engine._execute_record`, the exact entry point
+  of the parallel sweep engine, and results travel as the exact cache wire
+  format — a daemon result is byte-identical to a ``repro-cli run`` of the
+  same config.
+* **Honest cancellation.**  Queued jobs cancel immediately; running jobs
+  are never killed mid-simulation (results are deterministic and nearly
+  paid for) — ``cancel`` reports ``cancelled: false`` for them.
+
+The daemon is deliberately single-loop: all bookkeeping (job table, stats,
+state transitions) happens on the event loop, so no locks are needed around
+the coalescing decision — two "simultaneous" submits of one config are
+serialised by the loop itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import tempfile
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import repro
+from repro.experiments.engine import _execute_record, config_key
+from repro.experiments.setup import ExperimentConfig
+from repro.service import protocol
+from repro.service.store import ResultStore
+
+#: Byte limit per protocol line (requests *and* responses): generous enough
+#: for a detailed 300-job record, small enough to bound a hostile client.
+LINE_LIMIT = 1 << 24
+
+#: Environment variable naming the default daemon socket path.
+SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+#: Job lifecycle states, as they appear on the wire.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States in which a job occupies (or will occupy) a worker.
+ACTIVE_STATES = (QUEUED, RUNNING)
+
+
+def default_socket_path() -> Path:
+    """``$REPRO_SERVICE_SOCKET`` or a per-user path under the temp dir."""
+    override = os.environ.get(SOCKET_ENV)
+    if override:
+        return Path(override)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-service-{uid}.sock"
+
+
+@dataclass
+class ServiceJob:
+    """One entry of the daemon's job table."""
+
+    key: str
+    config: Dict[str, Any]
+    name: str
+    state: str = QUEUED
+    #: How the daemon first learned the answer: ``spawned`` (a worker ran
+    #: it), ``store`` (read back from the result store).
+    source: str = "spawned"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    record: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cancel_requested: bool = False
+    task: Optional["asyncio.Task[None]"] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def wall_time(self) -> Optional[float]:
+        """Worker wall-clock seconds (``None`` unless this daemon ran it)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def summary(self) -> Dict[str, Any]:
+        """The fields every job listing carries."""
+        return {
+            "key": self.key,
+            "name": self.name,
+            "state": self.state,
+            "source": self.source,
+            "submitted_at": self.submitted_at,
+            "wall_time": self.wall_time,
+            "error": self.error,
+        }
+
+
+class ExperimentService:
+    """The daemon: job table, worker pool and store behind a local socket.
+
+    Parameters
+    ----------
+    store:
+        The result store (a :class:`~repro.service.store.ResultStore` or a
+        directory for one).
+    workers:
+        Concurrent simulations; also the size of the default process pool.
+    runner:
+        The callable workers execute, ``(config_dict) -> record_dict``.
+        Defaults to the sweep engine's
+        :func:`~repro.experiments.engine._execute_record`; tests inject
+        controllable stand-ins here.
+    pool:
+        An :class:`~concurrent.futures.Executor` to run *runner* on.
+        ``None`` creates a :class:`~concurrent.futures.ProcessPoolExecutor`
+        of *workers* processes on startup.
+    """
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, Path],
+        *,
+        workers: int = 2,
+        runner: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+        pool: Optional[Executor] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.workers = workers
+        self._runner = runner if runner is not None else _execute_record
+        self._pool: Optional[Executor] = pool
+        self._owns_pool = pool is None
+        self.jobs: Dict[str, ServiceJob] = {}
+        self.executions = 0
+        self.coalesced = 0
+        self.store_served = 0
+        self.requests = 0
+        self.started_at: Optional[float] = None
+        self.address: Optional[str] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._socket_path: Optional[Path] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(
+        self,
+        *,
+        socket_path: Union[str, Path, None] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+    ) -> str:
+        """Bind and start serving; returns the address actually bound.
+
+        Either *socket_path* (a Unix domain socket, the default transport)
+        or *host*/*port* (localhost TCP) — a stale socket file at
+        *socket_path* is replaced.
+        """
+        self._stop = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.workers)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.started_at = time.time()
+        if host is not None:
+            self._server = await asyncio.start_server(
+                self._handle, host, port, limit=LINE_LIMIT
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.address = f"{bound[0]}:{bound[1]}"
+        else:
+            path = Path(socket_path) if socket_path is not None else default_socket_path()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=str(path), limit=LINE_LIMIT
+            )
+            self._socket_path = path
+            self.address = str(path)
+        return self.address
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`request_shutdown`)."""
+        assert self._stop is not None, "start() must run first"
+        await self._stop.wait()
+        await self.aclose()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (thread-unsafe; use from the loop)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def aclose(self) -> None:
+        """Stop accepting, cancel queued jobs, drain running ones, close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        active = [job.task for job in self.jobs.values() if job.task is not None]
+        for job in self.jobs.values():
+            if job.state == QUEUED and job.task is not None:
+                job.cancel_requested = True
+                job.task.cancel()
+        if active:
+            await asyncio.gather(*active, return_exceptions=True)
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._socket_path is not None:
+            try:
+                self._socket_path.unlink()
+            except OSError:
+                pass
+            self._socket_path = None
+
+    def run(
+        self,
+        *,
+        socket_path: Union[str, Path, None] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+        on_ready: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Blocking entry point: serve until shutdown (or SIGINT/SIGTERM).
+
+        *on_ready* is called with the bound address once the daemon accepts
+        connections — the CLI prints it, tests use it to rendezvous.
+        """
+
+        async def main() -> None:
+            address = await self.start(socket_path=socket_path, host=host, port=port)
+            loop = asyncio.get_running_loop()
+            try:
+                import signal
+
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    loop.add_signal_handler(signum, self.request_shutdown)
+            except (ImportError, NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal handlers
+            if on_ready is not None:
+                on_ready(address)
+            await self.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: request lines in, response lines out."""
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_response(None, "oversized", "request line too long")
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self.dispatch_line(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-conversation; its jobs keep running
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        """Decode and dispatch one request line (never raises)."""
+        try:
+            request = protocol.decode(line)
+        except ValueError as error:
+            return protocol.error_response(None, "bad_request", str(error))
+        return await self.dispatch(request)
+
+    async def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one request to its operation handler (never raises)."""
+        self.requests += 1
+        op = request.get("op")
+        handler = {
+            "submit": self._op_submit,
+            "get": self._op_get,
+            "list": self._op_list,
+            "cancel": self._op_cancel,
+            "batch": self._op_batch,
+            "run_and_wait": self._op_run_and_wait,
+            "status": self._op_status,
+            "shutdown": self._op_shutdown,
+        }.get(op)
+        if handler is None:
+            return self._echo_id(
+                request,
+                protocol.error_response(
+                    op if isinstance(op, str) else None,
+                    "unknown_op",
+                    f"unknown operation {op!r}; expected one of {protocol.OPERATIONS}",
+                ),
+            )
+        try:
+            response = await handler(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # a handler bug must not kill the daemon
+            response = protocol.error_response(
+                op, "internal", f"{type(error).__name__}: {error}"
+            )
+        return self._echo_id(request, response)
+
+    @staticmethod
+    def _echo_id(request: Dict[str, Any], response: Dict[str, Any]) -> Dict[str, Any]:
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    # -- config plumbing -----------------------------------------------------
+
+    def _parse_config(self, request: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        """Validate the request's ``config`` into ``(key, canonical dict)``.
+
+        Runs the full :class:`ExperimentConfig` validation, so a typo'd
+        policy name fails here — at submit time, with the registered names
+        listed — not inside a worker.
+        """
+        data = request.get("config")
+        if not isinstance(data, dict):
+            raise ValueError("'config' must be a mapping of experiment-config fields")
+        config = ExperimentConfig.from_dict(data)
+        return config_key(config), config.to_dict()
+
+    # -- the submit path (shared by submit/batch/run_and_wait) ---------------
+
+    def _submit_config(self, key: str, config: Dict[str, Any]) -> Tuple[ServiceJob, str]:
+        """Dedup one submission; returns ``(job, how)``.
+
+        ``how`` is ``"attached"`` (coalesced onto an active run),
+        ``"session"`` (already finished in this daemon), ``"store"`` (served
+        from the result store) or ``"spawned"`` (a fresh worker run).  All
+        table bookkeeping happens synchronously on the event loop, which is
+        what makes the coalescing decision race-free.
+        """
+        job = self.jobs.get(key)
+        if job is not None and job.state in ACTIVE_STATES:
+            self.coalesced += 1
+            return job, "attached"
+        if job is not None and job.state == DONE:
+            return job, "session"
+        # Failed or cancelled jobs are resubmittable; first try the store.
+        record = self.store.get(key)
+        if record is not None:
+            self.store_served += 1
+            job = ServiceJob(
+                key=key,
+                config=config,
+                name=str(config.get("name", "experiment")),
+                state=DONE,
+                source="store",
+                submitted_at=time.time(),
+                record=record,
+            )
+            job.done.set()
+            self.jobs[key] = job
+            return job, "store"
+        job = ServiceJob(
+            key=key,
+            config=config,
+            name=str(config.get("name", "experiment")),
+            submitted_at=time.time(),
+        )
+        self.jobs[key] = job
+        job.task = asyncio.get_running_loop().create_task(self._run_job(job))
+        return job, "spawned"
+
+    async def _run_job(self, job: ServiceJob) -> None:
+        """Worker-side lifecycle of one spawned job."""
+        assert self._slots is not None and self._pool is not None
+        try:
+            async with self._slots:
+                if job.cancel_requested:
+                    raise asyncio.CancelledError
+                job.state = RUNNING
+                job.started_at = time.time()
+                self.executions += 1
+                record = await asyncio.get_running_loop().run_in_executor(
+                    self._pool, self._runner, job.config
+                )
+            job.finished_at = time.time()
+            job.record = record
+            job.state = DONE
+            self.store.put(job.key, record)
+        except asyncio.CancelledError:
+            job.finished_at = time.time()
+            job.state = CANCELLED
+            job.error = "cancelled before execution"
+        except Exception as error:
+            job.finished_at = time.time()
+            job.state = FAILED
+            job.error = f"{type(error).__name__}: {error}"
+        finally:
+            job.done.set()
+
+    def _job_response(self, op: str, job: ServiceJob, how: str, fmt: str) -> Dict[str, Any]:
+        """The response for one job in its current state."""
+        fields: Dict[str, Any] = dict(job.summary())
+        # ``source`` says how the daemon first learned the answer; ``via``
+        # says how *this* request was resolved (spawned / attached to an
+        # in-flight run / already finished this session / read from store).
+        fields["via"] = how
+        fields["coalesced"] = how == "attached"
+        if job.state == DONE and job.record is not None:
+            fields.update(protocol.result_payload(job.record, fmt))
+        return protocol.ok_response(op, **fields)
+
+    # -- operations ----------------------------------------------------------
+
+    async def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fmt = protocol.response_format(request)
+        try:
+            key, config = self._parse_config(request)
+        except (TypeError, ValueError) as error:
+            return protocol.error_response("submit", "bad_config", str(error))
+        job, how = self._submit_config(key, config)
+        return self._job_response("submit", job, how, fmt)
+
+    async def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fmt = protocol.response_format(request)
+        configs = request.get("configs")
+        if not isinstance(configs, list):
+            return protocol.error_response(
+                "batch", "bad_config", "'configs' must be a list of config mappings"
+            )
+        responses: List[Dict[str, Any]] = []
+        for data in configs:
+            responses.append(await self._op_submit({"config": data, "response_format": fmt}))
+        return protocol.ok_response("batch", jobs=responses, count=len(responses))
+
+    async def _op_get(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fmt = protocol.response_format(request)
+        key = request.get("key")
+        if key is None and "config" in request:
+            try:
+                key, _ = self._parse_config(request)
+            except (TypeError, ValueError) as error:
+                return protocol.error_response("get", "bad_config", str(error))
+        if not isinstance(key, str):
+            return protocol.error_response("get", "bad_request", "'key' or 'config' required")
+        job = self.jobs.get(key)
+        if job is not None:
+            return self._job_response("get", job, "lookup", fmt)
+        record = self.store.get(key)
+        if record is not None:
+            fields: Dict[str, Any] = {"key": key, "state": DONE, "source": "store"}
+            fields.update(protocol.result_payload(record, fmt))
+            return protocol.ok_response("get", **fields)
+        return protocol.error_response(
+            "get", "not_found", f"no job or stored result for key {key!r}", key=key
+        )
+
+    async def _op_list(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fmt = protocol.response_format(request)
+        jobs = sorted(self.jobs.values(), key=lambda job: (job.submitted_at, job.key))
+        listed: List[Dict[str, Any]] = []
+        for job in jobs:
+            entry = job.summary()
+            if fmt == "detailed":
+                entry["config"] = job.config
+                if job.state == DONE and job.record is not None:
+                    entry["digest"] = protocol.metrics_digest(job.record)
+            listed.append(entry)
+        return protocol.ok_response("list", jobs=listed, count=len(listed))
+
+    async def _op_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        key = request.get("key")
+        if not isinstance(key, str):
+            return protocol.error_response("cancel", "bad_request", "'key' required")
+        job = self.jobs.get(key)
+        if job is None:
+            return protocol.error_response(
+                "cancel", "not_found", f"no job for key {key!r}", key=key
+            )
+        if job.state == QUEUED and job.task is not None:
+            job.cancel_requested = True
+            job.task.cancel()
+            await job.done.wait()
+            return protocol.ok_response(
+                "cancel", key=key, cancelled=job.state == CANCELLED, state=job.state
+            )
+        # Running jobs are never killed (deterministic work, nearly done);
+        # finished states have nothing left to cancel.
+        return protocol.ok_response("cancel", key=key, cancelled=False, state=job.state)
+
+    async def _op_run_and_wait(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fmt = protocol.response_format(request)
+        try:
+            key, config = self._parse_config(request)
+        except (TypeError, ValueError) as error:
+            return protocol.error_response("run_and_wait", "bad_config", str(error))
+        timeout = request.get("timeout")
+        job, how = self._submit_config(key, config)
+        if not job.done.is_set():
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(job.done.wait()),
+                    timeout=float(timeout) if timeout is not None else None,
+                )
+            except asyncio.TimeoutError:
+                return protocol.error_response(
+                    "run_and_wait",
+                    "timeout",
+                    f"job still {job.state} after {timeout}s",
+                    key=key,
+                    state=job.state,
+                )
+        if job.state == DONE:
+            return self._job_response("run_and_wait", job, how, fmt)
+        return protocol.error_response(
+            "run_and_wait",
+            "execution_failed" if job.state == FAILED else "cancelled",
+            job.error or f"job ended in state {job.state}",
+            key=key,
+            state=job.state,
+        )
+
+    async def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        states: Dict[str, int] = {
+            QUEUED: 0,
+            RUNNING: 0,
+            DONE: 0,
+            FAILED: 0,
+            CANCELLED: 0,
+        }
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return protocol.ok_response(
+            "status",
+            version=repro.__version__,
+            protocol=protocol.PROTOCOL_VERSION,
+            python=".".join(map(str, sys.version_info[:3])),
+            address=self.address,
+            uptime=time.time() - self.started_at if self.started_at else 0.0,
+            workers=self.workers,
+            jobs=states,
+            executions=self.executions,
+            coalesced=self.coalesced,
+            store_served=self.store_served,
+            requests=self.requests,
+            store=self.store.stats().to_dict(),
+        )
+
+    async def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.request_shutdown()
+        return protocol.ok_response("shutdown", stopping=True)

@@ -1,0 +1,360 @@
+"""Content-addressed result store: the persistence layer of the service.
+
+One record per key, one JSON file per record, addressed purely by content
+hash — for experiment results the key is
+:func:`repro.experiments.engine.config_key`, a SHA-256 over the canonical
+configuration plus the code version, so the *name* of a result is a proof of
+*what* produced it.  The store itself is agnostic: it maps ``key: str`` to
+``record: dict`` and never interprets the payload, which keeps it free of
+import cycles with the experiments layer (whose
+:class:`~repro.experiments.engine.ResultCache` wraps it).
+
+Guarantees
+----------
+* **Atomic writes.**  Records are written to a temporary sibling and
+  ``os.replace``\\ d into place; a reader never observes a partial file.
+* **Cross-process locking.**  Mutations (put, evict, clear) hold an
+  exclusive ``flock`` on a sidecar lock file; reads take a shared lock.
+  Many daemons, sweeps and CLIs can share one store directory.
+* **Schema versioning.**  Every file embeds :data:`SCHEMA_VERSION`.  A
+  record written by an older (or newer) schema, a corrupt file, or a
+  non-dict payload is treated as a *miss* and silently rewritten by the
+  next put — old stores degrade to cold ones, they never crash a sweep.
+* **Bounded size.**  With a byte budget configured, a put that pushes the
+  store over the budget evicts least-recently-*used* records (access times
+  are tracked via file mtime, bumped on every hit) until it fits again.
+  The record just written is never evicted: the budget bounds the steady
+  state, not a single oversized result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+try:  # POSIX; the only platform the test/CI matrix runs on.
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback: locking is a no-op
+    fcntl = None  # type: ignore[assignment]
+
+#: Version of the on-disk record envelope.  Bump whenever the meaning or
+#: shape of stored records changes incompatibly; every record written under
+#: a different version is invisible (a miss) to this code.
+SCHEMA_VERSION = 1
+
+#: Environment variable bounding the default store size (e.g. ``512M``).
+STORE_BUDGET_ENV = "REPRO_STORE_BUDGET"
+
+_SIZE_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+
+
+def parse_size(text: Union[str, int, float, None]) -> Optional[int]:
+    """Parse a human byte size (``"512M"``, ``"2G"``, ``4096``) to bytes.
+
+    ``None`` and empty strings parse to ``None`` (no budget).  Raises
+    :class:`ValueError` on garbage or non-positive sizes, so a typo'd budget
+    fails loudly instead of silently disabling eviction.
+    """
+    if text is None:
+        return None
+    if isinstance(text, (int, float)):
+        value = int(text)
+    else:
+        stripped = text.strip().upper()
+        if not stripped:
+            return None
+        multiplier = 1
+        if stripped[-1] in ("B",):
+            stripped = stripped[:-1]
+        if stripped and stripped[-1] in _SIZE_SUFFIXES:
+            multiplier = _SIZE_SUFFIXES[stripped[-1]]
+            stripped = stripped[:-1]
+        try:
+            value = int(float(stripped) * multiplier)
+        except ValueError:
+            raise ValueError(f"cannot parse size {text!r}") from None
+    if value <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return value
+
+
+class FileLock:
+    """A cross-process advisory lock over one file, via ``flock``.
+
+    Usable as a context manager; *shared* locks (many readers) and
+    *exclusive* locks (one writer) are both supported.  On platforms
+    without :mod:`fcntl` the lock degrades to a no-op — single-process
+    correctness is unaffected, only cross-process mutual exclusion is lost.
+    """
+
+    def __init__(self, path: Union[str, Path], *, shared: bool = False) -> None:
+        self.path = Path(path)
+        self.shared = shared
+        self._handle = None
+
+    def acquire(self) -> None:
+        if self._handle is not None:
+            raise RuntimeError("lock is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(self.path, "a+")
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX)
+        self._handle = handle
+
+    def release(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+@dataclass
+class StoreStats:
+    """Counters and sizes of one :class:`ResultStore`.
+
+    ``hits``/``misses``/``invalidations``/``evictions``/``puts`` are
+    per-process counters (they describe this store *object*, not the
+    directory's lifetime); ``entries``/``total_bytes`` are measured from
+    disk at call time and therefore reflect every process sharing the
+    directory.
+    """
+
+    entries: int
+    total_bytes: int
+    budget_bytes: Optional[int]
+    hits: int
+    misses: int
+    invalidations: int
+    evictions: int
+    puts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "puts": self.puts,
+        }
+
+
+class ResultStore:
+    """Content-addressed ``key -> record`` store over one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where the records live.  Created on first write.
+    budget_bytes:
+        Soft size bound in bytes (or a string like ``"256M"``); ``None``
+        reads ``$REPRO_STORE_BUDGET`` and falls back to unbounded.
+        Exceeding the budget triggers least-recently-used eviction on the
+        next put.
+    """
+
+    #: File name of the sidecar lock; never counted as a record.
+    LOCK_NAME = ".store.lock"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        budget_bytes: Union[str, int, None] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        if budget_bytes is None:
+            budget_bytes = os.environ.get(STORE_BUDGET_ENV) or None
+        self.budget_bytes = parse_size(budget_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.puts = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """The file a record for *key* lives in (existing or not)."""
+        return self.directory / f"{key}.json"
+
+    def _lock(self, *, shared: bool = False) -> FileLock:
+        return FileLock(self.directory / self.LOCK_NAME, shared=shared)
+
+    def _entries(self) -> List[Tuple[Path, os.stat_result]]:
+        """Every record file with its stat, skipping vanished ones."""
+        entries: List[Tuple[Path, os.stat_result]] = []
+        if not self.directory.is_dir():
+            return entries
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path, path.stat()))
+            except OSError:
+                continue  # evicted or replaced under us: not an error
+        return entries
+
+    # -- read path -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The record stored under *key*, or ``None`` on a miss.
+
+        Corrupt files and records written under a different
+        :data:`SCHEMA_VERSION` count as misses (and as ``invalidations`` in
+        the stats); a hit bumps the record's mtime, which is what the LRU
+        eviction policy orders by.
+        """
+        path = self.path_for(key)
+        try:
+            with self._lock(shared=True):
+                text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            self.misses += 1
+            self.invalidations += 1
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema_version") != SCHEMA_VERSION
+            or not isinstance(envelope.get("record"), dict)
+        ):
+            # Written by another schema generation (or not by us at all):
+            # invisible, and rewritten in place by the next put.
+            self.misses += 1
+            self.invalidations += 1
+            return None
+        try:
+            os.utime(path)  # LRU bookkeeping: this record was just used
+        except OSError:
+            pass
+        self.hits += 1
+        return envelope["record"]
+
+    def contains(self, key: str) -> bool:
+        """Whether a *valid* record for *key* exists (without bumping LRU)."""
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(envelope, dict)
+            and envelope.get("schema_version") == SCHEMA_VERSION
+            and isinstance(envelope.get("record"), dict)
+        )
+
+    def keys(self) -> Iterator[str]:
+        """The keys currently on disk (schema validity not checked)."""
+        for path, _ in self._entries():
+            yield path.stem
+
+    # -- write path ----------------------------------------------------------
+
+    def put(self, key: str, record: Dict[str, Any]) -> Path:
+        """Persist *record* under *key*; returns the file written.
+
+        The write is atomic (temp file + ``os.replace``) and holds the
+        store's exclusive lock together with any eviction it triggers, so
+        concurrent writers interleave cleanly.
+        """
+        path = self.path_for(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"schema_version": SCHEMA_VERSION, "record": record, "stored_at": time.time()},
+            sort_keys=True,
+        )
+        with self._lock():
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, path)
+            self.puts += 1
+            if self.budget_bytes is not None:
+                self._evict_locked(keep=path)
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Remove the record for *key*; ``True`` if one existed."""
+        with self._lock():
+            try:
+                self.path_for(key).unlink()
+                return True
+            except OSError:
+                return False
+
+    def clear(self) -> int:
+        """Delete every record; returns the number of files removed."""
+        removed = 0
+        with self._lock():
+            for path, _ in self._entries():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def _evict_locked(self, keep: Optional[Path] = None) -> int:
+        """Evict least-recently-used records until the budget holds.
+
+        Caller must hold the exclusive lock.  *keep* (the record that
+        triggered the eviction) is never removed, so one oversized record
+        cannot evict itself into a livelock.
+        """
+        assert self.budget_bytes is not None
+        entries = self._entries()
+        total = sum(stat.st_size for _, stat in entries)
+        if total <= self.budget_bytes:
+            return 0
+        evicted = 0
+        # Oldest access first; the freshly written record is exempt.
+        entries.sort(key=lambda pair: pair[1].st_mtime)
+        for path, stat in entries:
+            if total <= self.budget_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= stat.st_size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Sizes (measured now) and this process's counters."""
+        entries = self._entries()
+        return StoreStats(
+            entries=len(entries),
+            total_bytes=sum(stat.st_size for _, stat in entries),
+            budget_bytes=self.budget_bytes,
+            hits=self.hits,
+            misses=self.misses,
+            invalidations=self.invalidations,
+            evictions=self.evictions,
+            puts=self.puts,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultStore {str(self.directory)!r} budget={self.budget_bytes}>"

@@ -70,7 +70,7 @@ def test_single_file_policy_reaches_every_surface(
     output = capsys.readouterr().out
     assert "FIRSTFIT" in output
     assert "reverse=False" in output
-    assert names("placement") == ("CF", "CM", "EASY", "FCM", "FIRSTFIT", "WF")
+    assert names("placement") == ("CF", "CM", "EASY", "FCM", "FIRSTFIT", "SJF", "WF")
 
     # Constructible with parameters from a scenario spec.
     spec = ScenarioSpec(

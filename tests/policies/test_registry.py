@@ -46,7 +46,7 @@ def scratch_registration():
 
 
 def test_builtin_policies_are_registered():
-    assert names("placement") == ("CF", "CM", "EASY", "FCM", "WF")
+    assert names("placement") == ("CF", "CM", "EASY", "FCM", "SJF", "WF")
     assert names("malleability") == (
         "AVERAGE_STEAL",
         "EGS",
@@ -72,7 +72,7 @@ def test_resolve_handles_aliases_and_case():
 
 
 def test_unknown_name_lists_registered_names():
-    with pytest.raises(ValueError, match="CF, CM, EASY, FCM, WF"):
+    with pytest.raises(ValueError, match="CF, CM, EASY, FCM, SJF, WF"):
         resolve("placement", "NOPE")
     with pytest.raises(ValueError, match="AVERAGE_STEAL"):
         PolicySpec.parse("malleability", "XYZZY")

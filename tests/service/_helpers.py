@@ -1,0 +1,49 @@
+"""Shared helpers of the service tests (imported by conftest and tests)."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+from repro.experiments.setup import ExperimentConfig
+
+
+def tiny_config(**overrides: Any) -> ExperimentConfig:
+    """A fast experiment configuration (two rigid jobs, no background)."""
+    fields: Dict[str, Any] = {
+        "name": "tiny",
+        "workload": "Wm",
+        "job_count": 2,
+        "malleability_policy": None,
+        "placement_policy": "WF",
+        "background_fraction": 0.0,
+        "seed": 0,
+    }
+    fields.update(overrides)
+    return ExperimentConfig(**fields)
+
+
+class GateRunner:
+    """A fake worker whose executions block until the test opens the gate."""
+
+    def __init__(self, template: Dict[str, Any]) -> None:
+        self.template = template
+        self.gate = threading.Event()
+        self.calls: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            self.calls.append(config)
+        if not self.gate.wait(timeout=30):
+            raise RuntimeError("test gate never opened")
+        record = dict(self.template)
+        record["config"] = config
+        return record
+
+
+class FailRunner:
+    """A fake worker that always blows up."""
+
+    def __call__(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        raise ValueError(f"simulated worker failure for {config.get('name')!r}")

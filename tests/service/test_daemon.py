@@ -1,0 +1,356 @@
+"""End-to-end tests of the experiment daemon over its Unix socket.
+
+Two rigs (see ``conftest``): the *real* rig runs genuine simulations on a
+process pool and proves byte identity with the standalone engine; the
+*gated* rig swaps in a fake runner that blocks until the test opens a gate,
+which pins jobs in their queued/running states long enough to observe
+coalescing, cancellation and timeouts deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from _helpers import FailRunner, GateRunner, tiny_config
+from repro.experiments.engine import config_key, result_to_record
+from repro.experiments.setup import run_experiment
+from repro.service import ResultStore, ServiceError
+from repro.service import protocol
+
+
+def wait_for(predicate, *, timeout=10.0, interval=0.01, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(interval)
+
+
+# -- byte identity with the standalone engine (real simulations) --------------
+
+
+def test_daemon_result_is_byte_identical_to_run_experiment(daemon):
+    config = tiny_config(name="identity")
+    handle = daemon(workers=2)
+    with handle.client() as client:
+        response = client.run_and_wait(
+            config, timeout=300, response_format="detailed"
+        )
+    local = result_to_record(run_experiment(config))
+    assert response["ok"] is True
+    assert response["key"] == config_key(config)
+    # The whole record — config, metrics, horizon — is byte-identical.
+    assert json.dumps(response["record"], sort_keys=True) == (
+        json.dumps(local, sort_keys=True)
+    )
+    assert response["digest"] == protocol.metrics_digest(local)
+    # The daemon persisted the record in the store, under the same envelope
+    # the engine's own cache writes.
+    stored = handle.service.store.get(config_key(config))
+    assert stored == local
+
+
+def test_eight_concurrent_submits_execute_exactly_once(daemon):
+    # The acceptance criterion: 8 clients racing the same config produce
+    # exactly one worker execution and eight identical responses.
+    config = tiny_config(name="stampede")
+    handle = daemon(workers=2)
+    responses = [None] * 8
+    errors = []
+
+    def submit(slot: int) -> None:
+        try:
+            with handle.client() as client:
+                responses[slot] = client.run_and_wait(
+                    config, timeout=300, response_format="detailed"
+                )
+        except Exception as error:  # surfaced below, with the slot
+            errors.append((slot, error))
+
+    threads = [threading.Thread(target=submit, args=(slot,)) for slot in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    assert not errors, f"client threads failed: {errors}"
+    assert all(response is not None and response["ok"] for response in responses)
+    digests = {response["digest"] for response in responses}
+    records = {json.dumps(response["record"], sort_keys=True) for response in responses}
+    assert len(digests) == 1 and len(records) == 1  # eight identical answers
+    with handle.client() as client:
+        status = client.status()
+    assert status["executions"] == 1  # exactly one worker run
+    assert status["store"]["entries"] == 1
+
+
+def test_restarted_daemon_serves_results_from_the_store(daemon, tmp_path):
+    config = tiny_config(name="restart")
+    store_dir = tmp_path / "shared-store"
+    first = daemon(store=ResultStore(store_dir), tag="first")
+    with first.client() as client:
+        before = client.run_and_wait(config, timeout=300, response_format="detailed")
+    first.stop()
+
+    # A brand-new daemon (fresh job table) finds the result on disk: no
+    # worker ever runs.
+    second = daemon(store=ResultStore(store_dir), tag="second")
+    with second.client() as client:
+        after = client.run_and_wait(config, timeout=30, response_format="detailed")
+        status = client.status()
+    assert after["via"] == "store"
+    assert after["source"] == "store"
+    assert after["record"] == before["record"]
+    assert status["executions"] == 0
+    assert status["store_served"] == 1
+
+
+# -- coalescing, observed deterministically (gated fake runner) ---------------
+
+
+def test_concurrent_submits_coalesce_onto_one_run(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    handle = daemon(runner=runner, workers=2)
+    config = tiny_config(name="coalesce")
+    responses = [None] * 8
+
+    def submit(slot: int) -> None:
+        with handle.client() as client:
+            responses[slot] = client.run_and_wait(
+                config, timeout=None, response_format="detailed"
+            )
+
+    threads = [threading.Thread(target=submit, args=(slot,)) for slot in range(8)]
+    for thread in threads:
+        thread.start()
+    # The gate holds the one spawned worker mid-"simulation", so all eight
+    # submissions are in flight together: exactly one spawned, seven
+    # attached — no timing luck involved.
+    with handle.client() as client:
+        wait_for(
+            lambda: client.status()["coalesced"] == 7,
+            message="8 submissions to coalesce",
+        )
+        status = client.status()
+    assert status["jobs"]["running"] + status["jobs"]["queued"] == 1
+    assert len(runner.calls) == 1
+    runner.gate.set()
+    for thread in threads:
+        thread.join(timeout=60)
+    vias = sorted(response["via"] for response in responses)
+    assert vias == ["attached"] * 7 + ["spawned"]
+    assert {response["digest"] for response in responses} == {
+        protocol.metrics_digest(tiny_record)
+    }
+    assert sum(response["coalesced"] for response in responses) == 7
+    with handle.client() as client:
+        assert client.status()["executions"] == 1
+
+
+def test_submit_after_completion_is_served_from_the_session(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    runner.gate.set()  # no holding: runs complete immediately
+    handle = daemon(runner=runner, workers=2)
+    config = tiny_config(name="session-hit")
+    with handle.client() as client:
+        first = client.run_and_wait(config, timeout=30)
+        second = client.submit(config)
+        assert first["via"] == "spawned"
+        assert second["via"] == "session"
+        assert second["state"] == "done"
+        assert second["digest"] == first["digest"]
+        assert client.status()["executions"] == 1
+
+
+# -- cancellation -------------------------------------------------------------
+
+
+def test_cancel_queued_job_works_and_running_job_is_refused(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    handle = daemon(runner=runner, workers=1)  # one slot: the 2nd job queues
+    running_config = tiny_config(name="occupier")
+    queued_config = tiny_config(name="waiter")
+    with handle.client() as client:
+        running = client.submit(running_config)
+        wait_for(
+            lambda: client.status()["jobs"]["running"] == 1,
+            message="first job to start",
+        )
+        queued = client.submit(queued_config)
+        assert queued["state"] == "queued"
+
+        # A queued job cancels immediately; its slot is never consumed.
+        cancelled = client.cancel(queued["key"])
+        assert cancelled["cancelled"] is True
+        assert cancelled["state"] == "cancelled"
+        got = client.get(queued["key"])
+        assert got["state"] == "cancelled"
+
+        # A running job is never killed: cancel reports the refusal.
+        refused = client.cancel(running["key"])
+        assert refused["cancelled"] is False
+        assert refused["state"] == "running"
+
+        # A cancelled config is resubmittable — it spawns a fresh run.
+        runner.gate.set()
+        resubmitted = client.run_and_wait(queued_config, timeout=60)
+        assert resubmitted["via"] == "spawned"
+        assert resubmitted["state"] == "done"
+        finished = client.run_and_wait(running_config, timeout=60)
+        assert finished["state"] == "done"
+        assert client.status()["executions"] == 2  # occupier + resubmit
+
+
+def test_cancel_unknown_key_is_not_found(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    runner.gate.set()
+    handle = daemon(runner=runner)
+    with handle.client() as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel("0" * 64)
+        assert excinfo.value.code == "not_found"
+
+
+# -- timeouts and failures ----------------------------------------------------
+
+
+def test_run_and_wait_timeout_then_late_attach_succeeds(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    handle = daemon(runner=runner, workers=1)
+    config = tiny_config(name="slowpoke")
+    with handle.client() as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.run_and_wait(config, timeout=0.2)
+        assert excinfo.value.code == "timeout"
+        assert excinfo.value.response["state"] in ("queued", "running")
+        # The job survived the client timeout; a later wait attaches to it.
+        runner.gate.set()
+        response = client.run_and_wait(config, timeout=60)
+        assert response["state"] == "done"
+        assert client.status()["executions"] == 1
+
+
+def test_failed_run_is_reported_and_resubmittable(daemon):
+    handle = daemon(runner=FailRunner(), workers=1)
+    config = tiny_config(name="doomed")
+    with handle.client() as client:
+        with pytest.raises(ServiceError) as excinfo:
+            client.run_and_wait(config, timeout=60)
+        assert excinfo.value.code == "execution_failed"
+        assert "simulated worker failure" in str(excinfo.value)
+        got = client.get(config_key(config))
+        assert got["state"] == "failed"
+        assert "ValueError" in got["error"]
+        # Failures are not cached: the store stays empty and a resubmit
+        # spawns (and fails) again.
+        status = client.status()
+        assert status["store"]["entries"] == 0
+        assert status["executions"] == 1
+        with pytest.raises(ServiceError):
+            client.run_and_wait(config, timeout=60)
+        assert client.status()["executions"] == 2
+
+
+# -- batch, get, list ---------------------------------------------------------
+
+
+def test_batch_submits_and_deduplicates_in_one_round_trip(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    handle = daemon(runner=runner, workers=2)
+    config_a = tiny_config(name="batch", seed=0)
+    config_b = tiny_config(name="batch", seed=1)
+    with handle.client() as client:
+        response = client.batch([config_a, config_b, config_a])
+        assert response["count"] == 3
+        vias = [job["via"] for job in response["jobs"]]
+        assert vias == ["spawned", "spawned", "attached"]  # 3rd is a duplicate
+        assert response["jobs"][0]["key"] == response["jobs"][2]["key"]
+        runner.gate.set()
+        done = client.run_and_wait(config_b, timeout=60)
+        assert done["state"] == "done"
+        wait_for(
+            lambda: client.status()["jobs"]["done"] == 2,
+            message="both batch jobs to finish",
+        )
+        listing = client.list(response_format="detailed")
+    assert [entry["name"] for entry in listing] == ["batch", "batch"]
+    assert all(entry["digest"] for entry in listing)
+    assert [entry["config"]["seed"] for entry in listing] == [0, 1]
+    assert len(runner.calls) == 2
+
+
+def test_get_reaches_store_records_without_a_job_entry(daemon, tiny_record):
+    handle = daemon(runner=GateRunner(tiny_record))
+    handle.service.store.put("f" * 64, tiny_record)
+    with handle.client() as client:
+        response = client.get("f" * 64, response_format="detailed")
+        assert response["source"] == "store"
+        assert response["record"] == tiny_record
+        with pytest.raises(ServiceError) as excinfo:
+            client.get("0" * 64)
+        assert excinfo.value.code == "not_found"
+        # Lookup by config works too (key is derived daemon-side).
+        with pytest.raises(ServiceError):
+            client.get(config=tiny_config(name="never-submitted"))
+
+
+# -- protocol robustness ------------------------------------------------------
+
+
+def test_malformed_requests_get_errors_and_the_daemon_survives(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    runner.gate.set()
+    handle = daemon(runner=runner)
+
+    with handle.client() as client:
+        # Unknown operation.
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("frobnicate")
+        assert excinfo.value.code == "unknown_op"
+        # Config that fails ExperimentConfig validation, at submit time.
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"workload": "Wm", "placement_policy": "NOPE"})
+        assert excinfo.value.code == "bad_config"
+        assert "SJF" in str(excinfo.value)  # the registered names are listed
+        # Non-mapping config.
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("submit", config=[1, 2])
+        assert excinfo.value.code == "bad_config"
+
+    # Raw garbage on the wire: one error line per bad line, connection and
+    # daemon both stay up.
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10)
+    sock.connect(str(handle.socket_path))
+    reader = sock.makefile("rb")
+    try:
+        sock.sendall(b"this is not json\n")
+        error = json.loads(reader.readline())
+        assert error["ok"] is False and error["error"]["code"] == "bad_request"
+        sock.sendall(b"[1, 2, 3]\n")
+        error = json.loads(reader.readline())
+        assert error["ok"] is False and error["error"]["code"] == "bad_request"
+        # The same connection still serves real requests afterwards.
+        sock.sendall(protocol.encode({"op": "status", "id": "after-garbage"}))
+        response = json.loads(reader.readline())
+        assert response["ok"] is True
+        assert response["id"] == "after-garbage"  # ids echo back verbatim
+    finally:
+        reader.close()
+        sock.close()
+
+    with handle.client() as client:
+        assert client.status()["ok"] is True
+
+
+def test_request_ids_are_echoed_through_the_client(daemon, tiny_record):
+    runner = GateRunner(tiny_record)
+    runner.gate.set()
+    handle = daemon(runner=runner)
+    with handle.client() as client:
+        response = client.request("status", id=41)
+        assert response["id"] == 41

@@ -1,0 +1,69 @@
+"""Tests of the wire protocol: framing, formats, digests, payloads."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.service import protocol
+
+
+def test_encode_decode_round_trip():
+    message = {"op": "status", "id": 7}
+    line = protocol.encode(message)
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1  # one message, one line
+    assert protocol.decode(line) == message
+
+
+def test_encode_is_canonical():
+    assert protocol.encode({"b": 1, "a": 2}) == protocol.encode({"a": 2, "b": 1})
+
+
+@pytest.mark.parametrize("line", [b"not json\n", b"[1, 2]\n", b'"text"\n'])
+def test_decode_rejects_non_object_lines(line):
+    with pytest.raises(ValueError):
+        protocol.decode(line)
+
+
+def test_response_format_defaults_and_validates():
+    assert protocol.response_format({}) == "concise"
+    assert protocol.response_format({"response_format": "detailed"}) == "detailed"
+    with pytest.raises(ValueError, match="response_format"):
+        protocol.response_format({"response_format": "verbose"})
+
+
+def test_response_shapes():
+    ok = protocol.ok_response("status", uptime=1.0)
+    assert ok == {"ok": True, "op": "status", "uptime": 1.0}
+    bad = protocol.error_response("get", "not_found", "nope", key="k")
+    assert bad["ok"] is False
+    assert bad["error"] == {"code": "not_found", "message": "nope"}
+    assert bad["key"] == "k"
+
+
+def test_metrics_digest_is_canonical_sha256(tiny_record):
+    expected = hashlib.sha256(
+        json.dumps(tiny_record["metrics"], sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    assert protocol.metrics_digest(tiny_record) == expected
+    # Any metrics change moves the digest.
+    mutated = dict(tiny_record, metrics=dict(tiny_record["metrics"], unfinished_jobs=9))
+    assert protocol.metrics_digest(mutated) != expected
+
+
+def test_result_payload_concise_vs_detailed(tiny_record):
+    concise = protocol.result_payload(tiny_record, "concise")
+    assert concise["digest"] == protocol.metrics_digest(tiny_record)
+    assert concise["simulated_time"] == tiny_record["simulated_time"]
+    assert concise["truncated"] is False
+    assert "record" not in concise
+    assert set(concise["metrics"]) <= set(protocol.CONCISE_METRIC_KEYS)
+    assert concise["metrics"]["jobs"] == 2.0
+
+    detailed = protocol.result_payload(tiny_record, "detailed")
+    assert detailed["record"] == tiny_record  # the full cache wire format
+    assert detailed["digest"] == concise["digest"]
+    assert "metrics" not in detailed  # the record already carries everything

@@ -1,0 +1,48 @@
+"""Service smoke test against the golden figure-7 snapshot.
+
+The CI service job and this test share one claim: a result obtained through
+the daemon (socket, worker pool, store and all) carries exactly the metrics
+the golden snapshot pins for the standalone engine — the service is a
+transport, never a source of drift.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+from repro.experiments.engine import record_to_result
+from repro.experiments.scenarios import get_scenario
+
+
+def _golden_module():
+    """The golden-metrics test module (its digest helpers are the oracle)."""
+    path = Path(__file__).parent.parent / "golden" / "test_golden_metrics.py"
+    spec = importlib.util.spec_from_file_location("golden_metrics_oracle", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_daemon_figure7_matches_golden_snapshot(daemon):
+    golden = _golden_module()
+    parameters = golden.GOLDEN_CASES["figure7"]
+    label = "FPSMA/Wm"
+    config = dict(
+        get_scenario("figure7").expand(
+            job_count=parameters["job_count"], seed=parameters["seed"]
+        )
+    )[label]
+
+    handle = daemon(workers=2, tag="golden")
+    with handle.client() as client:
+        response = client.run_and_wait(
+            config, timeout=600, response_format="detailed"
+        )
+    assert response["ok"] is True
+
+    measured = golden.scenario_digest({label: record_to_result(response["record"])})
+    expected = json.loads(golden._golden_path("figure7").read_text(encoding="utf-8"))
+    differences = golden.field_diff({label: expected[label]}, measured)
+    assert differences == [], "\n".join(differences)

@@ -1,0 +1,239 @@
+"""Tests of the content-addressed result store (and the cache over it)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.engine import ResultCache, config_key, run_configs
+from repro.service.store import (
+    SCHEMA_VERSION,
+    FileLock,
+    ResultStore,
+    parse_size,
+)
+from _helpers import tiny_config
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only test environment
+    fcntl = None
+
+
+RECORD = {"metrics": {"x": 1}, "simulated_time": 2.0}
+
+
+# -- parse_size ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("text", "expected"),
+    [
+        (None, None),
+        ("", None),
+        ("   ", None),
+        (4096, 4096),
+        (4096.9, 4096),
+        ("4096", 4096),
+        ("1K", 1024),
+        ("1.5K", 1536),
+        ("512M", 512 << 20),
+        ("2G", 2 << 30),
+        ("1T", 1 << 40),
+        ("10MB", 10 << 20),
+        ("2g", 2 << 30),
+    ],
+)
+def test_parse_size_accepts_human_sizes(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("text", ["garbage", "12Q", "M", "-1", "0", -5, 0])
+def test_parse_size_rejects_garbage_and_nonpositive(text):
+    with pytest.raises(ValueError):
+        parse_size(text)
+
+
+# -- basic record round-trips -------------------------------------------------
+
+
+def test_put_get_round_trip_and_stats(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    assert store.get("k1") is None  # cold miss
+    path = store.put("k1", RECORD)
+    assert path == store.path_for("k1")
+    assert store.get("k1") == RECORD
+    assert store.contains("k1")
+    assert list(store.keys()) == ["k1"]
+    stats = store.stats()
+    assert (stats.hits, stats.misses, stats.puts) == (1, 1, 1)
+    assert stats.entries == 1
+    assert stats.total_bytes == path.stat().st_size
+    assert stats.invalidations == 0
+    # The envelope on disk is versioned and wraps the record verbatim.
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    assert envelope["schema_version"] == SCHEMA_VERSION
+    assert envelope["record"] == RECORD
+    assert "stored_at" in envelope
+
+
+def test_delete_and_clear(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put("k1", RECORD)
+    store.put("k2", RECORD)
+    assert store.delete("k1")
+    assert not store.delete("k1")  # already gone
+    assert store.clear() == 1
+    assert list(store.keys()) == []
+
+
+# -- schema versioning and corruption ----------------------------------------
+
+
+def _rewrite_envelope(store: ResultStore, key: str, envelope) -> None:
+    store.path_for(key).write_text(json.dumps(envelope), encoding="utf-8")
+
+
+@pytest.mark.parametrize(
+    "envelope",
+    [
+        {"schema_version": SCHEMA_VERSION + 1, "record": {"x": 1}},  # future
+        {"schema_version": SCHEMA_VERSION - 1, "record": {"x": 1}},  # past
+        {"record": {"x": 1}},  # unversioned (pre-service cache files)
+        {"schema_version": SCHEMA_VERSION, "record": [1, 2]},  # non-dict payload
+        [1, 2, 3],  # not an envelope at all
+    ],
+)
+def test_wrong_schema_is_a_miss_not_an_error(tmp_path, envelope):
+    store = ResultStore(tmp_path / "store")
+    store.put("k1", RECORD)
+    _rewrite_envelope(store, "k1", envelope)
+    assert store.get("k1") is None
+    assert not store.contains("k1")
+    assert store.stats().invalidations == 1
+    # The next put rewrites the slot and the record becomes visible again.
+    store.put("k1", RECORD)
+    assert store.get("k1") == RECORD
+
+
+def test_corrupt_json_is_a_miss_not_an_error(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put("k1", RECORD)
+    store.path_for("k1").write_text("{truncated...", encoding="utf-8")
+    assert store.get("k1") is None
+    assert store.stats().invalidations == 1
+    store.put("k1", RECORD)
+    assert store.get("k1") == RECORD
+
+
+# -- LRU eviction -------------------------------------------------------------
+
+
+def _age(store: ResultStore, key: str, seconds_ago: float) -> None:
+    """Backdate a record's access time (the LRU ordering key)."""
+    path = store.path_for(key)
+    stamp = path.stat().st_mtime - seconds_ago
+    os.utime(path, times=(stamp, stamp))
+
+
+def test_eviction_drops_least_recently_used_first(tmp_path):
+    probe = ResultStore(tmp_path / "store")
+    size = probe.put("k1", RECORD).stat().st_size
+    store = ResultStore(tmp_path / "store", budget_bytes=int(size * 2.5))
+    _age(store, "k1", 300)
+    store.put("k2", RECORD)
+    _age(store, "k2", 200)
+    assert sorted(store.keys()) == ["k1", "k2"]  # within budget: no eviction
+    store.put("k3", RECORD)  # 3 records > 2.5 -> oldest (k1) goes
+    assert sorted(store.keys()) == ["k2", "k3"]
+    assert store.stats().evictions == 1
+    # A hit refreshes k2, so the next eviction victim is k3.
+    _age(store, "k3", 100)
+    assert store.get("k2") == RECORD
+    store.put("k4", RECORD)
+    assert sorted(store.keys()) == ["k2", "k4"]
+
+
+def test_record_that_triggered_eviction_is_never_evicted(tmp_path):
+    probe = ResultStore(tmp_path / "store")
+    size = probe.put("k1", RECORD).stat().st_size
+    store = ResultStore(tmp_path / "store", budget_bytes=max(1, size // 2))
+    # Budget smaller than one record: the fresh write must survive anyway.
+    store.put("k2", RECORD)
+    assert sorted(store.keys()) == ["k1", "k2"] or sorted(store.keys()) == ["k2"]
+    _age(store, "k2", 100)
+    store.put("k3", RECORD)
+    assert "k3" in set(store.keys())  # newest survives
+    assert store.get("k3") == RECORD
+
+
+def test_budget_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_BUDGET", "1M")
+    assert ResultStore(tmp_path / "store").budget_bytes == 1 << 20
+    monkeypatch.setenv("REPRO_STORE_BUDGET", "")
+    assert ResultStore(tmp_path / "store").budget_bytes is None
+    # An explicit budget wins over the environment.
+    monkeypatch.setenv("REPRO_STORE_BUDGET", "1M")
+    assert ResultStore(tmp_path / "store", budget_bytes="2K").budget_bytes == 2048
+
+
+# -- locking ------------------------------------------------------------------
+
+
+def test_file_lock_is_reentrant_hostile_and_context_managed(tmp_path):
+    lock = FileLock(tmp_path / "x.lock")
+    with lock:
+        with pytest.raises(RuntimeError, match="already held"):
+            lock.acquire()
+    with lock:  # release() made it acquirable again
+        pass
+    lock.release()  # double release is harmless
+
+
+@pytest.mark.skipif(fcntl is None, reason="flock requires fcntl")
+def test_exclusive_lock_excludes_other_processes_handles(tmp_path):
+    path = tmp_path / "x.lock"
+    with FileLock(path):
+        with open(path, "a+") as rival:
+            with pytest.raises(OSError):  # BlockingIOError on Linux
+                fcntl.flock(rival.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+
+
+@pytest.mark.skipif(fcntl is None, reason="flock requires fcntl")
+def test_shared_locks_coexist(tmp_path):
+    path = tmp_path / "x.lock"
+    with FileLock(path, shared=True):
+        with open(path, "a+") as rival:
+            fcntl.flock(rival.fileno(), fcntl.LOCK_SH | fcntl.LOCK_NB)
+            fcntl.flock(rival.fileno(), fcntl.LOCK_UN)
+
+
+# -- the engine's ResultCache rides on the store ------------------------------
+
+
+def test_result_cache_delegates_to_the_store(tmp_path):
+    cache = ResultCache(tmp_path / "cache", budget_bytes="1M")
+    assert cache.backend.budget_bytes == 1 << 20
+    assert cache.directory == cache.backend.directory
+
+
+def test_cache_schema_invalidation_forces_rerun_and_rewrite(tmp_path):
+    config = tiny_config(name="cache-schema")
+    cache = ResultCache(tmp_path / "cache")
+    (first,) = run_configs([config], cache=cache)
+    key = config_key(config)
+    assert cache.backend.contains(key)
+
+    # An old-generation record is invisible: load misses, the sweep reruns.
+    envelope = json.loads(cache.path_for(config).read_text(encoding="utf-8"))
+    envelope["schema_version"] = SCHEMA_VERSION - 1
+    cache.path_for(config).write_text(json.dumps(envelope), encoding="utf-8")
+    assert cache.load(config) is None
+    (again,) = run_configs([config], cache=cache)
+    assert cache.backend.contains(key)  # rewritten under the current schema
+    loaded = cache.load(config)
+    assert loaded is not None
+    assert loaded.metrics.to_dict() == first.metrics.to_dict()
+    assert again.metrics.to_dict() == first.metrics.to_dict()

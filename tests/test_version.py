@@ -1,0 +1,18 @@
+"""The package version is declared once and reported consistently."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+
+def test_dunder_version_matches_pyproject():
+    # No tomllib on 3.9: a pinned regex over the [project] table suffices.
+    pyproject = Path(__file__).parent.parent / "pyproject.toml"
+    match = re.search(
+        r'^version = "([^"]+)"$', pyproject.read_text(encoding="utf-8"), re.MULTILINE
+    )
+    assert match, "pyproject.toml lost its version field"
+    assert repro.__version__ == match.group(1)

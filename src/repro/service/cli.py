@@ -211,6 +211,14 @@ def _client_from(args: argparse.Namespace) -> ServiceClient:
 
 def cmd_client(args: argparse.Namespace) -> int:
     """Execute one client operation; prints the JSON response(s)."""
+    if args.host is not None and not args.port:
+        # Port 0 means "pick one" for serve; for a client it is never a
+        # daemon to connect to.
+        print(
+            "error: client --host requires --port (the port 'repro-cli serve' printed)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         with _client_from(args) as client:
             if args.client_op == "status":

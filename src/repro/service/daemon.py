@@ -26,7 +26,11 @@ over a local socket and speak the newline-delimited JSON protocol of
 The daemon is deliberately single-loop: all bookkeeping (job table, stats,
 state transitions) happens on the event loop, so no locks are needed around
 the coalescing decision — two "simultaneous" submits of one config are
-serialised by the loop itself.
+serialised by the loop itself.  The one blocking dependency — the store's
+flock-guarded file I/O, which another process can stall by holding the
+store lock — runs on a dedicated single thread (:meth:`_store_call`), so a
+slow store never freezes the event loop, and store operations stay
+serialised relative to each other.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ import os
 import sys
 import tempfile
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -63,6 +67,10 @@ CANCELLED = "cancelled"
 
 #: States in which a job occupies (or will occupy) a worker.
 ACTIVE_STATES = (QUEUED, RUNNING)
+
+
+class _BadRequest(ValueError):
+    """A client-side request error; reported with code ``bad_request``."""
 
 
 def default_socket_path() -> Path:
@@ -161,6 +169,7 @@ class ExperimentService:
         self._socket_path: Optional[Path] = None
         self._stop: Optional[asyncio.Event] = None
         self._slots: Optional[asyncio.Semaphore] = None
+        self._store_io: Optional[ThreadPoolExecutor] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -179,6 +188,10 @@ class ExperimentService:
         """
         self._stop = asyncio.Event()
         self._slots = asyncio.Semaphore(self.workers)
+        if self._store_io is None:
+            self._store_io = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-store-io"
+            )
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         self.started_at = time.time()
@@ -224,6 +237,13 @@ class ExperimentService:
                 job.task.cancel()
         if active:
             await asyncio.gather(*active, return_exceptions=True)
+        for job in self.jobs.values():
+            # A task cancelled before its first loop step never entered
+            # _run_job, so its finally block never ran: finalize it here.
+            self._finalize_unstarted_cancel(job)
+        if self._store_io is not None:
+            self._store_io.shutdown(wait=True)
+            self._store_io = None
         if self._pool is not None and self._owns_pool:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -333,6 +353,8 @@ class ExperimentService:
             response = await handler(request)
         except asyncio.CancelledError:
             raise
+        except _BadRequest as error:  # malformed request field: client error
+            response = protocol.error_response(op, "bad_request", str(error))
         except Exception as error:  # a handler bug must not kill the daemon
             response = protocol.error_response(
                 op, "internal", f"{type(error).__name__}: {error}"
@@ -345,7 +367,15 @@ class ExperimentService:
             response["id"] = request["id"]
         return response
 
-    # -- config plumbing -----------------------------------------------------
+    # -- request plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _response_format(request: Dict[str, Any]) -> str:
+        """The request's validated ``response_format``, as a client error."""
+        try:
+            return protocol.response_format(request)
+        except ValueError as error:
+            raise _BadRequest(str(error)) from None
 
     def _parse_config(self, request: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         """Validate the request's ``config`` into ``(key, canonical dict)``.
@@ -362,23 +392,51 @@ class ExperimentService:
 
     # -- the submit path (shared by submit/batch/run_and_wait) ---------------
 
-    def _submit_config(self, key: str, config: Dict[str, Any]) -> Tuple[ServiceJob, str]:
-        """Dedup one submission; returns ``(job, how)``.
+    async def _store_call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run one blocking store operation off the event loop.
 
-        ``how`` is ``"attached"`` (coalesced onto an active run),
-        ``"session"`` (already finished in this daemon), ``"store"`` (served
-        from the result store) or ``"spawned"`` (a fresh worker run).  All
-        table bookkeeping happens synchronously on the event loop, which is
-        what makes the coalescing decision race-free.
+        The store's file I/O sits behind a cross-process ``flock`` — another
+        process holding the lock (a parallel sweep mid-eviction, say) would
+        otherwise stall the entire event loop and freeze every connection.
+        A single dedicated thread keeps store operations serialised
+        relative to each other.
         """
+        assert self._store_io is not None, "start() must run first"
+        return await asyncio.get_running_loop().run_in_executor(
+            self._store_io, fn, *args
+        )
+
+    def _table_lookup(self, key: str) -> Optional[Tuple[ServiceJob, str]]:
+        """Resolve *key* against the in-memory job table, if it can be."""
         job = self.jobs.get(key)
         if job is not None and job.state in ACTIVE_STATES:
             self.coalesced += 1
             return job, "attached"
         if job is not None and job.state == DONE:
             return job, "session"
+        return None
+
+    async def _submit_config(
+        self, key: str, config: Dict[str, Any]
+    ) -> Tuple[ServiceJob, str]:
+        """Dedup one submission; returns ``(job, how)``.
+
+        ``how`` is ``"attached"`` (coalesced onto an active run),
+        ``"session"`` (already finished in this daemon), ``"store"`` (served
+        from the result store) or ``"spawned"`` (a fresh worker run).  Table
+        bookkeeping happens synchronously on the event loop; the one await
+        (the off-loop store read) is followed by a re-check, because a
+        concurrent submit of the same config may have raced in during it —
+        which keeps the coalescing decision race-free.
+        """
+        hit = self._table_lookup(key)
+        if hit is not None:
+            return hit
         # Failed or cancelled jobs are resubmittable; first try the store.
-        record = self.store.get(key)
+        record = await self._store_call(self.store.get, key)
+        hit = self._table_lookup(key)
+        if hit is not None:
+            return hit
         if record is not None:
             self.store_served += 1
             job = ServiceJob(
@@ -419,7 +477,7 @@ class ExperimentService:
             job.finished_at = time.time()
             job.record = record
             job.state = DONE
-            self.store.put(job.key, record)
+            await self._store_call(self.store.put, job.key, record)
         except asyncio.CancelledError:
             job.finished_at = time.time()
             job.state = CANCELLED
@@ -430,6 +488,26 @@ class ExperimentService:
             job.error = f"{type(error).__name__}: {error}"
         finally:
             job.done.set()
+
+    @staticmethod
+    def _finalize_unstarted_cancel(job: ServiceJob) -> None:
+        """Settle a job whose coroutine was cancelled before it ever ran.
+
+        ``Task.cancel()`` on a task that has not had its first event-loop
+        step (pipelined submit+cancel on one connection hits this) destroys
+        the coroutine without executing it — :meth:`_run_job`'s ``finally``
+        never runs, so the CANCELLED transition and ``done`` signal must
+        happen here.  A job whose coroutine did run has ``done`` set by the
+        time its task completes, making this a no-op.
+        """
+        if job.done.is_set():
+            return
+        if job.task is None or not job.task.done():
+            return
+        job.finished_at = time.time()
+        job.state = CANCELLED
+        job.error = "cancelled before execution"
+        job.done.set()
 
     def _job_response(self, op: str, job: ServiceJob, how: str, fmt: str) -> Dict[str, Any]:
         """The response for one job in its current state."""
@@ -446,16 +524,16 @@ class ExperimentService:
     # -- operations ----------------------------------------------------------
 
     async def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        fmt = protocol.response_format(request)
+        fmt = self._response_format(request)
         try:
             key, config = self._parse_config(request)
         except (TypeError, ValueError) as error:
             return protocol.error_response("submit", "bad_config", str(error))
-        job, how = self._submit_config(key, config)
+        job, how = await self._submit_config(key, config)
         return self._job_response("submit", job, how, fmt)
 
     async def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        fmt = protocol.response_format(request)
+        fmt = self._response_format(request)
         configs = request.get("configs")
         if not isinstance(configs, list):
             return protocol.error_response(
@@ -467,7 +545,7 @@ class ExperimentService:
         return protocol.ok_response("batch", jobs=responses, count=len(responses))
 
     async def _op_get(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        fmt = protocol.response_format(request)
+        fmt = self._response_format(request)
         key = request.get("key")
         if key is None and "config" in request:
             try:
@@ -479,7 +557,7 @@ class ExperimentService:
         job = self.jobs.get(key)
         if job is not None:
             return self._job_response("get", job, "lookup", fmt)
-        record = self.store.get(key)
+        record = await self._store_call(self.store.get, key)
         if record is not None:
             fields: Dict[str, Any] = {"key": key, "state": DONE, "source": "store"}
             fields.update(protocol.result_payload(record, fmt))
@@ -489,7 +567,7 @@ class ExperimentService:
         )
 
     async def _op_list(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        fmt = protocol.response_format(request)
+        fmt = self._response_format(request)
         jobs = sorted(self.jobs.values(), key=lambda job: (job.submitted_at, job.key))
         listed: List[Dict[str, Any]] = []
         for job in jobs:
@@ -513,7 +591,13 @@ class ExperimentService:
         if job.state == QUEUED and job.task is not None:
             job.cancel_requested = True
             job.task.cancel()
-            await job.done.wait()
+            # Await the task, not job.done: a task cancelled before its
+            # first event-loop step never enters _run_job, so nothing else
+            # would ever set done — waiting on it would hang this handler
+            # and leave a zombie 'queued' entry that every later submit of
+            # the same config coalesces onto.
+            await asyncio.gather(job.task, return_exceptions=True)
+            self._finalize_unstarted_cancel(job)
             return protocol.ok_response(
                 "cancel", key=key, cancelled=job.state == CANCELLED, state=job.state
             )
@@ -522,18 +606,25 @@ class ExperimentService:
         return protocol.ok_response("cancel", key=key, cancelled=False, state=job.state)
 
     async def _op_run_and_wait(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        fmt = protocol.response_format(request)
+        fmt = self._response_format(request)
         try:
             key, config = self._parse_config(request)
         except (TypeError, ValueError) as error:
             return protocol.error_response("run_and_wait", "bad_config", str(error))
         timeout = request.get("timeout")
-        job, how = self._submit_config(key, config)
+        if timeout is not None:
+            # Validate before submitting: a bad timeout must not spawn work.
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise _BadRequest(
+                    f"'timeout' must be a number of seconds, got {timeout!r}"
+                ) from None
+        job, how = await self._submit_config(key, config)
         if not job.done.is_set():
             try:
                 await asyncio.wait_for(
-                    asyncio.shield(job.done.wait()),
-                    timeout=float(timeout) if timeout is not None else None,
+                    asyncio.shield(job.done.wait()), timeout=timeout
                 )
             except asyncio.TimeoutError:
                 return protocol.error_response(
@@ -576,7 +667,7 @@ class ExperimentService:
             coalesced=self.coalesced,
             store_served=self.store_served,
             requests=self.requests,
-            store=self.store.stats().to_dict(),
+            store=(await self._store_call(self.store.stats)).to_dict(),
         )
 
     async def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:

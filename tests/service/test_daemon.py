@@ -205,6 +205,49 @@ def test_cancel_queued_job_works_and_running_job_is_refused(daemon, tiny_record)
         assert client.status()["executions"] == 2  # occupier + resubmit
 
 
+def test_pipelined_submit_cancel_settles_a_never_started_task(daemon, tiny_record):
+    # Submit and cancel sent back-to-back on one connection: both lines land
+    # in the daemon's read buffer together, so the cancel is dispatched
+    # before the job's task gets its first event-loop step.  Cancelling a
+    # never-started coroutine skips _run_job entirely (its finally never
+    # runs) — the daemon must settle the job itself instead of waiting
+    # forever on job.done and leaving a zombie 'queued' table entry.
+    runner = GateRunner(tiny_record)
+    handle = daemon(runner=runner, workers=1)
+    occupier = tiny_config(name="occupier")
+    victim = tiny_config(name="drive-by")
+    with handle.client() as client:
+        client.submit(occupier)  # pins the only slot: the victim stays queued
+        wait_for(
+            lambda: client.status()["jobs"]["running"] == 1,
+            message="occupier to start",
+        )
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(30)  # without the fix, the cancel response never comes
+    sock.connect(str(handle.socket_path))
+    reader = sock.makefile("rb")
+    try:
+        sock.sendall(
+            protocol.encode({"op": "submit", "config": victim.to_dict()})
+            + protocol.encode({"op": "cancel", "key": config_key(victim)})
+        )
+        submitted = json.loads(reader.readline())
+        cancelled = json.loads(reader.readline())
+    finally:
+        reader.close()
+        sock.close()
+    assert submitted["ok"] is True and submitted["state"] == "queued"
+    assert cancelled["ok"] is True
+    assert cancelled["cancelled"] is True and cancelled["state"] == "cancelled"
+    runner.gate.set()
+    with handle.client() as client:
+        # No zombie entry: the table shows the cancellation, and the config
+        # is resubmittable instead of coalescing onto a dead job.
+        assert client.get(config_key(victim))["state"] == "cancelled"
+        done = client.run_and_wait(victim, timeout=60)
+        assert done["via"] == "spawned" and done["state"] == "done"
+
+
 def test_cancel_unknown_key_is_not_found(daemon, tiny_record):
     runner = GateRunner(tiny_record)
     runner.gate.set()
@@ -320,6 +363,22 @@ def test_malformed_requests_get_errors_and_the_daemon_survives(daemon, tiny_reco
         with pytest.raises(ServiceError) as excinfo:
             client.request("submit", config=[1, 2])
         assert excinfo.value.code == "bad_config"
+        # Unknown response_format: a client error, not an internal one.
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("list", response_format="verbose")
+        assert excinfo.value.code == "bad_request"
+        assert "verbose" in str(excinfo.value)
+        # Non-numeric timeout: rejected before any work is spawned.
+        executions = client.status()["executions"]
+        with pytest.raises(ServiceError) as excinfo:
+            client.request(
+                "run_and_wait",
+                config=tiny_config(name="never-runs").to_dict(),
+                timeout="soon",
+            )
+        assert excinfo.value.code == "bad_request"
+        assert "timeout" in str(excinfo.value)
+        assert client.status()["executions"] == executions
 
     # Raw garbage on the wire: one error line per bad line, connection and
     # daemon both stay up.

@@ -158,6 +158,14 @@ def test_cli_run_and_wait_rejects_seed_sweeps(served, capsys):
     assert "exactly one seed" in capsys.readouterr().err
 
 
+def test_cli_client_host_without_port_is_rejected(capsys):
+    # Port 0 only means something for serve ("pick one"); a client would
+    # otherwise slip past ServiceClient's host-requires-port guard and fail
+    # with a confusing connect-to-port-0 error.
+    assert main(["client", "--host", "127.0.0.1", "status"]) == 2
+    assert "--port" in capsys.readouterr().err
+
+
 def test_cli_client_reports_unreachable_daemon(tmp_path, capsys):
     missing = tmp_path / "nobody-home.sock"
     assert main(["client", "--socket", str(missing), "status"]) == 1

@@ -148,6 +148,27 @@ def run_bench(
         raise ValueError(
             f"scenario {scenario!r} is static (report-only) and cannot be benchmarked"
         )
+    if spec.bench is not None:
+        # The scenario measures itself through a custom hook (e.g. the
+        # sharded-replay engine) instead of sweeping run_experiment.
+        jobs = int(job_count) if job_count is not None else spec.default_job_count
+        measured = spec.bench(job_count=jobs, seed=int(seed))
+        wall = float(measured["wall_clock_seconds"])
+        events = int(measured["events_processed"])
+        return BenchRecord(
+            scenario=spec.name,
+            job_count=jobs,
+            seed=int(seed),
+            runs=int(measured.get("runs", 1)),
+            wall_clock_seconds=wall,
+            events_processed=events,
+            events_per_second=events / wall if wall > 0 else 0.0,
+            peak_rss_bytes=peak_rss_bytes(),
+            cache_hits=0,
+            code_version=code_version(),
+            metrics_digest=str(measured["metrics_digest"]),
+            queue=resolve_queue_name(),
+        )
     pairs = spec.expand(job_count=job_count, seed=seed)
     store = (
         cache

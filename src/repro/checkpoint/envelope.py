@@ -1,0 +1,159 @@
+"""Checkpoint envelopes: schema-versioned files and a content-addressed store.
+
+A checkpoint is a plain JSON document — the same durability conventions as
+the result store (:mod:`repro.service.store`): a ``format`` version stamped
+into every envelope, atomic write-into-place, flock-guarded store access and
+corrupt-file tolerance.  Two persistence surfaces share the format:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — one explicit file,
+  the CLI's ``--checkpoint`` surface;
+* :class:`CheckpointStore` — a content-addressed directory keyed by
+  ``sha256(config, simulated time)``, built on the service layer's
+  :class:`~repro.service.store.ResultStore` so budget-based eviction,
+  locking and schema-mismatch handling are inherited, not re-implemented.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.service.store import ResultStore
+
+#: Schema version of checkpoint envelopes.  Bump on any incompatible change
+#: to the captured-state layout; loaders refuse other generations loudly
+#: (a checkpoint silently misread as another schema would corrupt a run).
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """Base class of all checkpoint/restore failures."""
+
+
+class CheckpointUnsupported(CheckpointError):
+    """The simulation's current state cannot be captured natively.
+
+    Raised by the capture layer when the configuration uses features outside
+    the native snapshot's supported envelope (malleability, faults, GRAM
+    jitter, background load) or when an unrecognised event is pending —
+    always *before* anything is written, never as a silently partial file.
+    """
+
+
+class RestoreError(CheckpointError):
+    """A checkpoint could not be turned back into a consistent run."""
+
+
+def checkpoint_key(config_data: Dict[str, Any], time_hex: str) -> str:
+    """Content address of a checkpoint: SHA-256 over config + capture time."""
+    canonical = json.dumps(config_data, sort_keys=True, default=str)
+    digest = hashlib.sha256()
+    digest.update(canonical.encode("utf-8"))
+    digest.update(b"|")
+    digest.update(str(time_hex).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def validate_envelope(data: Any) -> Dict[str, Any]:
+    """Check that *data* is a checkpoint envelope of this schema generation."""
+    if not isinstance(data, dict):
+        raise RestoreError(f"checkpoint envelope must be a mapping, got {type(data).__name__}")
+    fmt = data.get("format")
+    if fmt != CHECKPOINT_FORMAT:
+        raise RestoreError(
+            f"checkpoint format {fmt!r} is not supported (expected {CHECKPOINT_FORMAT})"
+        )
+    for field in ("mode", "config", "time"):
+        if field not in data:
+            raise RestoreError(f"checkpoint envelope is missing the {field!r} field")
+    return data
+
+
+def save_checkpoint(data: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write *data* to *path* atomically (tmp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(data, sort_keys=True) + "\n"
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a checkpoint file back, validating its schema generation."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise RestoreError(f"checkpoint file {path} does not exist") from None
+    except (OSError, json.JSONDecodeError) as error:
+        raise RestoreError(f"checkpoint file {path} is unreadable: {error}") from None
+    return validate_envelope(data)
+
+
+class CheckpointStore:
+    """Content-addressed checkpoint directory.
+
+    A thin typed wrapper over :class:`~repro.service.store.ResultStore`:
+    checkpoints are keyed by ``(config, capture time)``, so periodic
+    checkpointing of one long run files each boundary under its own key and
+    re-running the same configuration overwrites (rather than duplicates)
+    its checkpoints.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        budget_bytes: Optional[int] = None,
+    ) -> None:
+        self._store = ResultStore(directory, budget_bytes=budget_bytes)
+        self.directory = self._store.directory
+
+    def key_for(self, data: Dict[str, Any]) -> str:
+        """The content address of the envelope *data*."""
+        validate_envelope(data)
+        return checkpoint_key(data["config"], data["time"])
+
+    def save(self, data: Dict[str, Any]) -> str:
+        """Persist the envelope; returns its key."""
+        key = self.key_for(data)
+        self._store.put(key, data)
+        return key
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The envelope stored under *key* (``None`` on miss/corruption)."""
+        record = self._store.get(key)
+        if record is None:
+            return None
+        return validate_envelope(record)
+
+    def path_for(self, key: str) -> Path:
+        """Where the envelope for *key* lives on disk."""
+        return self._store.path_for(key)
+
+    def keys(self) -> List[str]:
+        """Keys currently stored, sorted."""
+        return sorted(self._store.keys())
+
+    def clear(self) -> int:
+        """Delete every stored checkpoint; returns how many were removed."""
+        return self._store.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CheckpointStore at {str(self.directory)!r}>"

@@ -66,6 +66,7 @@ def das3_multicluster(
     background: Optional[Dict[str, BackgroundLoadSpec]] = None,
     gram_submission_latency: float = 5.0,
     gram_recruit_latency: float = 0.5,
+    gram_latency_jitter: float = 0.2,
     gram_concurrency: Optional[int] = None,
     local_backfilling: bool = False,
 ) -> Multicluster:
@@ -91,6 +92,7 @@ def das3_multicluster(
         streams=streams,
         gram_submission_latency=gram_submission_latency,
         gram_recruit_latency=gram_recruit_latency,
+        gram_latency_jitter=gram_latency_jitter,
         gram_concurrency=gram_concurrency,
         local_backfilling=local_backfilling,
     )

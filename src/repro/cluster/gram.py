@@ -123,8 +123,14 @@ class GramEndpoint:
             self._gatekeeper: Optional[Resource] = Resource(env, max_concurrent_submissions)
         else:
             self._gatekeeper = None
-        #: All GRAM jobs ever submitted through this endpoint (for inspection).
+        #: GRAM jobs currently live at this endpoint.  Refused and released
+        #: jobs are pruned immediately — at streaming workload sizes
+        #: (hundreds of thousands of jobs) a grows-forever history would
+        #: dominate the resident set.
         self.jobs: List[GramJob] = []
+        #: Lifetime submission counter (the history the pruned list no
+        #: longer provides).
+        self.submitted_count: int = 0
 
     # -- latency model -----------------------------------------------------
 
@@ -149,6 +155,7 @@ class GramEndpoint:
         job = GramJob(owner=owner, processors=int(processors))
         job.submitted_at = self.env.now
         self.jobs.append(job)
+        self.submitted_count += 1
         done = Event(self.env)
         self.env.process(self._submission(job, done))
         return done
@@ -172,6 +179,8 @@ class GramEndpoint:
             # waiting on this particular submission yet.
             done.defused = True
             done.fail(error)
+            if job in self.jobs:
+                self.jobs.remove(job)
             return
         job.allocation = allocation
         job.active_at = self.env.now
@@ -193,6 +202,8 @@ class GramEndpoint:
         if job.allocation is not None and job.allocation.active:
             job.allocation.release()
         job.released_at = self.env.now
+        if job in self.jobs:
+            self.jobs.remove(job)
 
     # -- inspection ----------------------------------------------------------
 

@@ -37,6 +37,10 @@ class Multicluster:
         load.  A deterministic default is created when omitted.
     gram_submission_latency / gram_recruit_latency:
         Latency parameters applied to every cluster's GRAM endpoint.
+    gram_latency_jitter:
+        Relative jitter of those latencies (``0`` makes GRAM fully
+        deterministic and draws nothing from the random streams, which is
+        what the checkpoint/shard-replay machinery relies on).
     gram_concurrency:
         Maximum simultaneous GRAM submissions per cluster (``None`` =
         unlimited); see :class:`~repro.cluster.gram.GramEndpoint`.
@@ -53,6 +57,7 @@ class Multicluster:
         streams: Optional[RandomStreams] = None,
         gram_submission_latency: float = 5.0,
         gram_recruit_latency: float = 0.5,
+        gram_latency_jitter: float = 0.2,
         gram_concurrency: Optional[int] = None,
         local_backfilling: bool = False,
     ) -> None:
@@ -61,6 +66,7 @@ class Multicluster:
         self.streams = streams or RandomStreams(seed=0)
         self.gram_submission_latency = gram_submission_latency
         self.gram_recruit_latency = gram_recruit_latency
+        self.gram_latency_jitter = gram_latency_jitter
         self.gram_concurrency = gram_concurrency
         self.local_backfilling = local_backfilling
         self._clusters: Dict[str, Cluster] = {}
@@ -103,7 +109,13 @@ class Multicluster:
             cluster,
             submission_latency=self.gram_submission_latency,
             recruit_latency=self.gram_recruit_latency,
-            rng=self.streams[f"gram:{name}"],
+            latency_jitter=self.gram_latency_jitter,
+            # With zero jitter the endpoint never draws, so skip lane
+            # instantiation entirely — checkpointed runs then carry no
+            # per-cluster GRAM lanes in their RNG state.
+            rng=(
+                self.streams[f"gram:{name}"] if self.gram_latency_jitter else None
+            ),
             max_concurrent_submissions=self.gram_concurrency,
         )
         if background is not None and background.enabled:

@@ -474,6 +474,72 @@ def build_parser() -> argparse.ArgumentParser:
     custom.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
     _add_trace_options(custom)
     _add_fault_options(custom)
+
+    shard = subparsers.add_parser(
+        "shard-replay",
+        help="replay the shard-replay scenario in parallel time shards "
+        "(exact: stitched metrics equal a serial run's)",
+    )
+    shard.add_argument("--job-count", type=_positive_int, default=100_000)
+    shard.add_argument("--seed", type=_non_negative_int, default=0)
+    shard.add_argument(
+        "--min-gap",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="minimum arrival gap at which the workload is cut (default 600)",
+    )
+    shard.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: min(4, CPU count))",
+    )
+    shard.add_argument(
+        "--sequential",
+        action="store_true",
+        help="replay the windows in-process, one by one (debugging aid)",
+    )
+
+    ckpt = subparsers.add_parser(
+        "checkpointed",
+        help="run a scenario's first variant with periodic checkpoints and "
+        "streaming metrics; resumable via --resume",
+    )
+    _add_scenario_selector(ckpt)
+    ckpt.add_argument("--job-count", type=_positive_int, default=None)
+    ckpt.add_argument("--seed", type=_non_negative_int, default=0)
+    ckpt.add_argument(
+        "--every",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="simulated seconds between checkpoints (default 3600)",
+    )
+    ckpt.add_argument(
+        "--checkpoint-path",
+        metavar="FILE",
+        help="write numbered checkpoint files derived from FILE "
+        "(FILE's stem gains -NNNN per boundary)",
+    )
+    ckpt.add_argument(
+        "--checkpoint-store",
+        metavar="DIR",
+        help="persist checkpoints content-addressed under DIR",
+    )
+    ckpt.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="restore this checkpoint file first and continue from it",
+    )
+    ckpt.add_argument(
+        "--mode",
+        choices=("auto", "native", "replay"),
+        default="auto",
+        help="capture mode: 'native' (exact state, supported configs only), "
+        "'replay' (re-simulate to the capture instant; any config) or "
+        "'auto' (native when supported, replay otherwise; the default)",
+    )
     return parser
 
 
@@ -631,6 +697,95 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     {label: r.metrics for label, r in results.items()},
                     title=f"Sweep {spec.name} ({len(results)} runs)",
                 )
+    elif args.command == "shard-replay":
+        from repro.checkpoint import CheckpointUnsupported
+        from repro.checkpoint.shard import DEFAULT_MIN_GAP, shard_bench_config, shard_replay
+
+        config = shard_bench_config(args.job_count, args.seed)
+        try:
+            result = shard_replay(
+                config,
+                min_gap=args.min_gap if args.min_gap is not None else DEFAULT_MIN_GAP,
+                workers=args.workers,
+                force_sequential=args.sequential,
+            )
+        except CheckpointUnsupported as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises
+        lines = [
+            f"Sharded replay: {args.job_count} jobs, seed {args.seed}",
+            f"  windows:        {len(result.windows)} "
+            f"({result.valid_windows} valid, workers={result.workers})",
+            f"  fallback:       "
+            + (
+                "none"
+                if result.fallback_from is None
+                else f"serial tail from window {result.fallback_from}"
+            ),
+            f"  completed:      {result.metrics.jobs} jobs "
+            f"(all done: {result.all_done})",
+            f"  events:         {result.events_processed}",
+            f"  metrics digest: {result.metrics.digest}",
+        ]
+        report = "\n".join(lines)
+    elif args.command == "checkpointed":
+        from repro.checkpoint import (
+            CheckpointError,
+            CheckpointStore,
+            native_unsupported_reason,
+            resume_run,
+            run_checkpointed,
+        )
+
+        try:
+            spec = get_scenario(_selected_scenario(args))
+        except ValueError as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises
+        if spec.is_static:
+            parser.error(f"scenario {spec.name!r} is static and cannot be run")
+            return 2  # pragma: no cover - parser.error raises
+        _label, config = spec.expand(job_count=args.job_count, seed=args.seed)[0]
+        mode = args.mode
+        if mode == "auto":
+            mode = "replay" if native_unsupported_reason(config, None) else "native"
+        try:
+            resumed = resume_run(args.resume) if args.resume else None
+            if resumed is not None and resumed.config.to_dict() != config.to_dict():
+                parser.error(
+                    f"checkpoint {args.resume} was captured from a different "
+                    "configuration than the selected scenario/--job-count/--seed"
+                )
+                return 2  # pragma: no cover - parser.error raises
+            out = run_checkpointed(
+                config,
+                checkpoint_every=args.every,
+                store=(
+                    CheckpointStore(args.checkpoint_store)
+                    if args.checkpoint_store
+                    else None
+                ),
+                path=args.checkpoint_path,
+                mode=mode,
+                run=resumed,
+            )
+        except (CheckpointError, OSError, ValueError) as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises
+        window = out["window"]
+        lines = [
+            f"Checkpointed run: {spec.name}, seed {args.seed}",
+            f"  completed:      {window.jobs} jobs (all done: {out['all_done']})",
+            f"  simulated time: {out['simulated_time']:.0f}s",
+            f"  events:         {out['events_processed']}",
+            f"  checkpoints:    {out['checkpoints']}",
+            f"  metrics digest: {window.digest}",
+        ]
+        for target in out["checkpoint_paths"]:
+            lines.append(f"  wrote {target}")
+        for key in out["checkpoint_keys"]:
+            lines.append(f"  stored {key}")
+        report = "\n".join(lines)
     elif args.command == "custom":
         policy = None if args.policy.lower() in ("none", "off") else args.policy
         if policy is None and args.policy_arg:
@@ -646,8 +801,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             extra: dict = {}
             if args.time_limit is not None:
                 extra["time_limit"] = float(args.time_limit)
-            config = ExperimentConfig(
-                name="cli-custom",
+            # The validated builder is the single override surface: a bad
+            # field or reference fails as an argument error, not a traceback.
+            config = ExperimentConfig(name="cli-custom").with_overrides(
                 workload=workload,
                 job_count=args.job_count,
                 malleability_policy=policy,

@@ -90,6 +90,14 @@ class ScenarioSpec:
         Renders the merged results into the figure's plain-text report.
     builder:
         For static scenarios only: renders the report directly, no sweep.
+    bench:
+        Optional custom benchmark hook: ``bench(job_count=..., seed=...)``
+        returning at least ``runs``, ``wall_clock_seconds``,
+        ``events_processed`` and ``metrics_digest``.  When set,
+        ``repro-bench`` measures the hook instead of sweeping the config
+        grid — used by scenarios whose interesting execution path is not
+        :func:`~repro.experiments.setup.run_experiment` (the sharded-replay
+        engine).  The scenario stays a normal sweep for ``repro-cli run``.
     """
 
     name: str
@@ -101,6 +109,7 @@ class ScenarioSpec:
     default_job_count: int = 300
     reporter: Optional[Reporter] = None
     builder: Optional[Callable[[], str]] = None
+    bench: Optional[Callable[..., Dict[str, Any]]] = None
 
     @property
     def is_static(self) -> bool:
@@ -151,7 +160,12 @@ class ScenarioSpec:
                         label += f"@seed{root_seed}"
                     if self.repetitions > 1:
                         label += f"#rep{repetition}"
-                    pairs.append((label, ExperimentConfig(**fields)))
+                    # The validated builder: a typo'd override key (from a
+                    # variant, the base mapping or a caller's --set flag)
+                    # fails with the valid fields listed, not a TypeError.
+                    pairs.append(
+                        (label, ExperimentConfig().with_overrides(**fields))
+                    )
         return pairs
 
 
@@ -736,6 +750,49 @@ def background_load_ablation_scenario(
     )
 
 
+def _shard_replay_bench(**kwargs) -> Dict[str, Any]:
+    """Lazy import so the scenario registry never pulls in the shard engine."""
+    from repro.checkpoint.shard import shard_replay_bench
+
+    return shard_replay_bench(**kwargs)
+
+
+def _shard_replay_report(results: Dict[str, ExperimentResult]) -> str:
+    lines = ["Sharded replay - deterministic bursty rigid workload", ""]
+    for label in sorted(results):
+        metrics = results[label].metrics
+        lines.append(f"{label}: {metrics.job_count()} jobs finished")
+    return "\n".join(lines)
+
+
+def shard_replay_scenario() -> ScenarioSpec:
+    """The sharded-replay regime: huge deterministic bursts, rigid jobs only.
+
+    The base mirrors :func:`repro.checkpoint.shard.shard_bench_config`
+    field-for-field (a test pins the equality), so ``repro-cli run
+    shard-replay --jobs 2000`` simulates exactly the configuration that
+    ``repro-bench shard-replay`` measures through the shard engine.
+    """
+    return ScenarioSpec(
+        name="shard-replay",
+        title="Sharded million-job replay (checkpoint subsystem bench)",
+        base={
+            "name": "shard-replay",
+            "workload": "shard-bursts",
+            "malleability_policy": None,
+            "approach": "PRA",
+            "placement_policy": "WF",
+            "gram_latency_jitter": 0.0,
+            "background_fraction": 0.0,
+            "time_limit": 4.0e9,
+        },
+        variants=(ScenarioVariant("shard-bursts/rigid"),),
+        default_job_count=500_000,
+        reporter=_shard_replay_report,
+        bench=_shard_replay_bench,
+    )
+
+
 # Register the paper's scenarios.  Each entry is the single source of truth
 # for what ``repro-cli run <name>`` executes.
 for _factory in (
@@ -756,5 +813,6 @@ for _factory in (
     trace_load_sweep_scenario,
     fault_sweep_scenario,
     churn_replay_scenario,
+    shard_replay_scenario,
 ):
     register_scenario(_factory())

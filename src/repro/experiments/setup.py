@@ -117,6 +117,20 @@ def default_background(
     return specs
 
 
+def _unknown_fields_message(unknown, valid) -> str:
+    """The shared unknown-field error text (suggestion + valid-field list)."""
+    from repro.refs import suggest
+
+    hints = []
+    for key in unknown:
+        hint = suggest(key, valid)
+        hints.append(f"{key!r} (did you mean {hint!r}?)" if hint else repr(key))
+    return (
+        f"unknown ExperimentConfig field(s) {', '.join(hints)}; "
+        f"valid fields: {', '.join(sorted(valid))}"
+    )
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Configuration of one experiment run.
@@ -146,6 +160,7 @@ class ExperimentConfig:
     poll_interval: float = 15.0
     gram_submission_latency: float = 5.0
     gram_recruit_latency: float = 0.5
+    gram_latency_jitter: float = 0.2
     gram_concurrency: Optional[int] = 1
     adaptation_point_interval: float = 2.0
     background: Dict[str, BackgroundLoadSpec] = field(default_factory=dict)
@@ -186,7 +201,20 @@ class ExperimentConfig:
         return f"{policy}/{self.workload}"
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
-        """A copy of this configuration with some fields replaced."""
+        """A copy of this configuration with some fields replaced, validated.
+
+        The single override surface used by ``repro-cli``, the daemon's
+        submit path and scenario sweeps: a typo'd field name raises
+        :class:`ValueError` here — listing the valid fields and suggesting
+        the closest one — instead of surfacing later as an opaque
+        ``TypeError`` from the dataclass constructor.  Values still go
+        through ``__post_init__``, so policy/trace/fault references are
+        validated and canonicalised exactly as at construction.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise ValueError(_unknown_fields_message(unknown, valid))
         return replace(self, **kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -233,7 +261,11 @@ class ExperimentConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored (forward compatibility for records written
+        by newer code); use :meth:`from_fields` where a typo must fail.
+        """
         known = {f.name for f in fields(cls)}
         kwargs = {key: value for key, value in data.items() if key in known}
         kwargs["background"] = {
@@ -241,6 +273,24 @@ class ExperimentConfig:
             for name, spec in (kwargs.get("background") or {}).items()
         }
         return cls(**kwargs)
+
+    #: Derived keys :meth:`to_dict` adds for cache keying; accepted (and
+    #: recomputed, never trusted) when a rendered config comes back in.
+    DERIVED_KEYS = ("workload_fingerprint", "fault_fingerprint")
+
+    @classmethod
+    def from_fields(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Strict :meth:`from_dict`: unknown field names raise.
+
+        The submit-surface parser (daemon requests, CLI override mappings):
+        a typo'd field fails here with the valid fields listed and the
+        closest match suggested, exactly like :meth:`with_overrides`.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - valid - set(cls.DERIVED_KEYS))
+        if unknown:
+            raise ValueError(_unknown_fields_message(unknown, valid))
+        return cls.from_dict(data)
 
 
 @dataclass
@@ -301,9 +351,17 @@ def build_workload(config: ExperimentConfig, streams: RandomStreams) -> Workload
 
 
 def build_system(
-    config: ExperimentConfig, env: Environment, streams: RandomStreams
+    config: ExperimentConfig,
+    env: Environment,
+    streams: RandomStreams,
+    *,
+    scheduler_extra: Optional[Dict[str, object]] = None,
 ) -> tuple[Multicluster, KoalaScheduler]:
-    """Build the DAS-3 multicluster and a scheduler configured per *config*."""
+    """Build the DAS-3 multicluster and a scheduler configured per *config*.
+
+    ``scheduler_extra`` feeds :attr:`SchedulerConfig.extra` — the checkpoint
+    restore path uses it to re-join the original KIS poll grid.
+    """
     background = config.background or default_background(config.background_fraction)
     multicluster = das3_multicluster(
         env,
@@ -311,6 +369,7 @@ def build_system(
         background=background or None,
         gram_submission_latency=config.gram_submission_latency,
         gram_recruit_latency=config.gram_recruit_latency,
+        gram_latency_jitter=config.gram_latency_jitter,
         gram_concurrency=config.gram_concurrency,
         local_backfilling=config.background_backfilling,
     )
@@ -325,6 +384,7 @@ def build_system(
             grow_offer_mode=config.grow_offer_mode,
             poll_interval=config.poll_interval,
             adaptation_point_interval=config.adaptation_point_interval,
+            extra=dict(scheduler_extra or {}),
         ),
         streams=streams,
     )

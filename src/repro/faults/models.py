@@ -117,8 +117,14 @@ def resolve_fault_model(name: str) -> FaultModelBuilder:
     try:
         return _MODELS[name.lower()][0]
     except KeyError:
+        from repro.refs import suggest
+
         known = ", ".join(entry for entry, _ in known_fault_models()) or "(none)"
-        raise ValueError(f"unknown fault model {name!r}; known: {known}") from None
+        hint = suggest(name, (entry for entry, _ in known_fault_models()))
+        suffix = f"; did you mean {hint!r}?" if hint else ""
+        raise ValueError(
+            f"unknown fault model {name!r}; known: {known}{suffix}"
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -457,12 +463,9 @@ def is_fault_reference(name: str) -> bool:
 
 
 def _parse_value(text: str) -> Union[int, float, str]:
-    for parser in (int, float):
-        try:
-            return parser(text)
-        except ValueError:
-            continue
-    return text
+    from repro.refs import parse_scalar
+
+    return parse_scalar(text)
 
 
 @dataclass(frozen=True)
@@ -475,32 +478,26 @@ class FaultRef:
     @classmethod
     def parse(cls, reference: str) -> "FaultRef":
         """Parse ``"fault:<model>?k=v&k=v"`` (the prefix is optional here)."""
-        text = (
-            reference[len(FAULT_PREFIX):]
-            if is_fault_reference(reference)
-            else reference
-        )
-        model, _, query = text.partition("?")
+        from repro.refs import parse_query, split_reference
+
+        model, query = split_reference(reference, prefix=FAULT_PREFIX)
         if not model:
             raise ValueError(f"empty fault model name in reference {reference!r}")
-        params: Dict[str, Any] = {}
-        if query:
-            for part in query.split("&"):
-                key, separator, value = part.partition("=")
-                if not separator or not key:
-                    raise ValueError(
-                        f"malformed fault parameter {part!r} in {reference!r} "
-                        "(expected key=value)"
-                    )
-                params[key.strip()] = _parse_value(value.strip())
+        params = parse_query(
+            query,
+            value_parser=_parse_value,
+            malformed=lambda part: (
+                f"malformed fault parameter {part!r} in {reference!r} "
+                "(expected key=value)"
+            ),
+        )
         return cls(model=model, params=params)
 
     def canonical(self) -> str:
         """The canonical reference string (sorted parameters, with prefix)."""
-        if not self.params:
-            return f"{FAULT_PREFIX}{self.model}"
-        query = "&".join(f"{key}={self.params[key]}" for key in sorted(self.params))
-        return f"{FAULT_PREFIX}{self.model}?{query}"
+        from repro.refs import render_reference
+
+        return render_reference(self.model, self.params, prefix=FAULT_PREFIX)
 
     def model_params(self) -> Dict[str, Any]:
         """The parameters forwarded to the model builder."""

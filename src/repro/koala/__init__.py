@@ -26,8 +26,8 @@ the paper and its extension for malleability described in Section V:
 
 Placement policies are registered in the unified policy registry
 (:mod:`repro.policies`); configurations reference them by name, optionally
-parameterised (``"EASY?reserve_depth=2"``).  The legacy
-``make_placement_policy`` factory is a deprecated shim over that registry.
+parameterised (``"EASY?reserve_depth=2"``) — see :mod:`repro.refs` for
+the reference grammar shared by every configuration surface.
 """
 
 from repro.koala.job import (
@@ -43,7 +43,6 @@ from repro.koala.placement import (
     PlacementDecision,
     PlacementPolicy,
     WorstFit,
-    make_placement_policy,
 )
 from repro.koala.queue import PlacementQueue, QueuedJob
 from repro.koala.kis import (
@@ -81,5 +80,4 @@ __all__ = [
     "RunnersFramework",
     "SchedulerConfig",
     "WorstFit",
-    "make_placement_policy",
 ]

@@ -12,7 +12,7 @@ triggered from the polling loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.cluster.multicluster import Multicluster
 from repro.cluster.network import Link
@@ -100,12 +100,21 @@ class KoalaInformationService:
         multicluster: Multicluster,
         *,
         poll_interval: float = 15.0,
+        first_poll_at: Optional[float] = None,
+        defer_polling: bool = False,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         self.env = env
         self.multicluster = multicluster
         self.poll_interval = float(poll_interval)
+        # Restore support: a checkpoint records the absolute time of the
+        # next pending poll, and the restored service must re-join the
+        # original poll grid exactly (``first_poll_at``), not start a new
+        # grid at ``now + poll_interval``.
+        self._first_poll_at = None if first_poll_at is None else float(first_poll_at)
+        #: Absolute time of the next scheduled poll (checkpoint capture).
+        self.next_poll_time = env.now + self.poll_interval
         self.pip = ProcessorInformationProvider(multicluster)
         self.nip = NetworkInformationProvider(multicluster)
         self.rls = ReplicaLocationService(multicluster)
@@ -114,9 +123,17 @@ class KoalaInformationService:
         #: Immutable snapshot of the subscriber list, rebuilt on ``on_poll``;
         #: the poll loop iterates it without a defensive per-poll copy.
         self._subscriber_snapshot: tuple = ()
-        self._poll_process = env.process(self._poll_loop())
+        # ``defer_polling`` lets checkpoint restore start the poll process at
+        # a chosen point of the reconstruction, so the poll timeout's event
+        # id falls into the same relative slot it held in the original run.
+        self._poll_process = None if defer_polling else env.process(self._poll_loop())
 
     # -- polling --------------------------------------------------------------
+
+    def start_polling(self) -> None:
+        """Start the deferred poll loop (no-op when already running)."""
+        if self._poll_process is None:
+            self._poll_process = self.env.process(self._poll_loop())
 
     def on_poll(self, callback: Callable[[KisSnapshot], None]) -> None:
         """Register *callback* to be invoked after every PIP poll."""
@@ -133,7 +150,13 @@ class KoalaInformationService:
         return snapshot
 
     def _poll_loop(self):
+        first = self._first_poll_at
+        if first is not None:
+            self.next_poll_time = first
+            yield self.env.timeout_at(first)
+            self.poll_now()
         while True:
+            self.next_poll_time = self.env.now + self.poll_interval
             yield self.env.timeout(self.poll_interval)
             self.poll_now()
 

@@ -309,28 +309,3 @@ class FlexibleClusterMinimization(PlacementPolicy):
                 f"only {total - outstanding} of {total} processors available system-wide",
             )
         return decision
-
-
-def make_placement_policy(name: str, **kwargs) -> PlacementPolicy:
-    """Instantiate a placement policy by its symbolic name (``"WF"``, ...).
-
-    .. deprecated::
-        Use the unified registry instead:
-        ``repro.policies.PolicySpec.parse("placement", name).build()`` or
-        ``repro.policies.build_policy("placement", "CF?file_size_mb=250")``.
-        This shim delegates to the registry and will be removed.
-    """
-    import warnings
-
-    from repro.policies.registry import PolicySpec
-
-    warnings.warn(
-        "make_placement_policy() is deprecated; use "
-        "repro.policies.build_policy('placement', ...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    spec = PolicySpec(
-        "placement", name.upper(), tuple(sorted(kwargs.items()))
-    )
-    return PolicySpec.parse("placement", spec).build()

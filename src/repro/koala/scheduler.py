@@ -179,7 +179,13 @@ class KoalaScheduler:
             "placement", self.config.placement_policy
         )
         self.kis = KoalaInformationService(
-            env, multicluster, poll_interval=self.config.poll_interval
+            env,
+            multicluster,
+            poll_interval=self.config.poll_interval,
+            # Checkpoint restore passes the absolute time of the next poll so
+            # a resumed run re-joins the original poll grid exactly.
+            first_poll_at=self.config.extra.get("kis_first_poll_at"),
+            defer_polling=bool(self.config.extra.get("kis_defer_polling", False)),
         )
         self.ledger = ClaimLedger()
         #: Struct-of-arrays state of the multicluster; the ledger mirrors its
@@ -211,6 +217,13 @@ class KoalaScheduler:
         self.records: Dict[int, ExecutionRecord] = {}
         #: Jobs abandoned after exhausting their placement retries.
         self.failed: List[Job] = []
+        #: Lifetime counters.  ``all_done`` is defined over these, not over
+        #: the list/dict sizes, so streaming consumers may evict finished
+        #: jobs (:meth:`drain_finished`) without confusing the run loop —
+        #: the flat-memory property million-job replays depend on.
+        self._accepted_count = 0
+        self._finished_count = 0
+        self._failed_count = 0
 
         # Malleability management (optional).  Imported here to keep the
         # scheduler importable without the malleability layer.
@@ -261,6 +274,7 @@ class KoalaScheduler:
         job.state = JobState.QUEUED
         runner = self.runners.create_runner(job)
         self._runners[job.job_id] = runner
+        self._accepted_count += 1
         self.queue.enqueue(job, self.env.now)
         # A submission is a job-management trigger (the approach reacts).
         self.emit(JobSubmitted(self.env.now, job))
@@ -422,6 +436,7 @@ class KoalaScheduler:
         job.state = JobState.FAILED
         job.failure_reason = reason
         self.failed.append(job)
+        self._failed_count += 1
 
     # -- runner callbacks (SchedulerCallbacks protocol) ---------------------------------
 
@@ -451,6 +466,7 @@ class KoalaScheduler:
         self._forget_running(job)
         self.finished.append(job)
         self.records[job.job_id] = record
+        self._finished_count += 1
         # Processors became available: a job-management trigger (via hooks).
         self.emit(JobEnded(self.env.now, job, record=record))
 
@@ -507,8 +523,46 @@ class KoalaScheduler:
 
     @property
     def all_done(self) -> bool:
-        """Whether every submitted job has finished or failed."""
-        return len(self.finished) + len(self.failed) == len(self._runners)
+        """Whether every submitted job has finished or failed.
+
+        Counter-based (not list-length-based) so evicting finished jobs
+        through :meth:`drain_finished` cannot change the answer.
+        """
+        return self._finished_count + self._failed_count == self._accepted_count
+
+    @property
+    def finished_count(self) -> int:
+        """Lifetime number of finished jobs (eviction-proof)."""
+        return self._finished_count
+
+    @property
+    def failed_count(self) -> int:
+        """Lifetime number of abandoned jobs (eviction-proof)."""
+        return self._failed_count
+
+    @property
+    def accepted_count(self) -> int:
+        """Lifetime number of accepted submissions (eviction-proof)."""
+        return self._accepted_count
+
+    def drain_finished(self) -> List[tuple]:
+        """Hand over — and forget — every finished job with its record.
+
+        The streaming-metrics eviction hook: returns ``[(job, record), ...]``
+        in completion order, then drops the jobs from :attr:`finished`,
+        :attr:`records` and the runner map so a million-job replay holds
+        only the in-flight working set.  :attr:`all_done` is unaffected
+        (it is counter-based).  After a drain,
+        :meth:`~repro.metrics.collector.ExperimentMetrics.from_run` only
+        sees the jobs finished since — callers that drain are expected to
+        accumulate metrics incrementally (see
+        :mod:`repro.metrics.windowed`).
+        """
+        drained = [(job, self.records.pop(job.job_id)) for job in self.finished]
+        for job, _ in drained:
+            self._runners.pop(job.job_id, None)
+        self.finished = []
+        return drained
 
     def runner_for(self, job: Job) -> JobRunner:
         """The runner created for *job*."""

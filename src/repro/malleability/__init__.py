@@ -33,9 +33,7 @@ Both axes are registered in the unified policy registry
 (:mod:`repro.policies`) and the approaches are
 :class:`~repro.policies.hooks.SchedulerHooks` subscribers of the scheduler's
 typed events.  An additional fair-share policy beyond the paper,
-``AVERAGE_STEAL``, lives in :mod:`repro.policies.average_steal`; the legacy
-``make_malleability_policy``/``make_approach`` factories are deprecated
-shims over the registry.
+``AVERAGE_STEAL``, lives in :mod:`repro.policies.average_steal`.
 """
 
 from repro.malleability.policies import (
@@ -48,14 +46,12 @@ from repro.malleability.policies import (
     MalleabilityPolicy,
     ShrinkDirective,
     eligible_runners,
-    make_malleability_policy,
 )
 from repro.malleability.manager import (
     JobManagementApproach,
     MalleabilityManager,
     PrecedenceToRunningApplications,
     PrecedenceToWaitingApplications,
-    make_approach,
 )
 
 __all__ = [
@@ -72,6 +68,4 @@ __all__ = [
     "PrecedenceToWaitingApplications",
     "ShrinkDirective",
     "eligible_runners",
-    "make_approach",
-    "make_malleability_policy",
 ]

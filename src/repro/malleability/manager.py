@@ -355,24 +355,3 @@ class PrecedenceToWaitingApplications(JobManagementApproach):
             return
         # Impossible to free enough processors for the waiting job: grow.
         manager.grow_all_clusters()
-
-
-def make_approach(name: str) -> JobManagementApproach:
-    """Instantiate a job-management approach by symbolic name.
-
-    .. deprecated::
-        Use the unified registry instead:
-        ``repro.policies.build_policy("approach", name)``.  This shim
-        delegates to the registry and will be removed.
-    """
-    import warnings
-
-    from repro.policies.registry import PolicySpec
-
-    warnings.warn(
-        "make_approach() is deprecated; use "
-        "repro.policies.build_policy('approach', ...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return PolicySpec.parse("approach", name.upper()).build()

@@ -382,26 +382,3 @@ class Folding(MalleabilityPolicy):
             directives.append(ShrinkDirective(runner=runner, requested=half, expected=accepted))
             remaining -= accepted
         return directives
-
-
-def make_malleability_policy(name: str) -> MalleabilityPolicy:
-    """Instantiate a malleability policy by symbolic name.
-
-    .. deprecated::
-        Use the unified registry instead:
-        ``repro.policies.build_policy("malleability", name)`` — which also
-        understands parameterised references like
-        ``"AVERAGE_STEAL?balance=absolute"``.  This shim delegates to the
-        registry and will be removed.
-    """
-    import warnings
-
-    from repro.policies.registry import PolicySpec
-
-    warnings.warn(
-        "make_malleability_policy() is deprecated; use "
-        "repro.policies.build_policy('malleability', ...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return PolicySpec.parse("malleability", name.upper()).build()

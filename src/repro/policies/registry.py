@@ -39,7 +39,6 @@ like named ones.
 
 from __future__ import annotations
 
-import ast
 import importlib
 import importlib.util
 import inspect
@@ -188,9 +187,9 @@ def resolve(kind: str, name: str) -> type:
     try:
         return _REGISTRY[(kind, canonical)]
     except KeyError:
-        raise ValueError(
-            f"unknown {kind} policy {name!r}; registered: {', '.join(names(kind))}"
-        ) from None
+        from repro.refs import unknown_name_error
+
+        raise unknown_name_error(f"{kind} policy", name, names(kind)) from None
 
 
 def names(kind: str) -> Tuple[str, ...]:
@@ -243,12 +242,12 @@ def parse_literal(text: str) -> Any:
 
     Used by the query-string form of :meth:`PolicySpec.parse` and by the
     ``--policy-arg`` CLI flag, so ``30`` is an int, ``0.5`` a float,
-    ``True`` a bool and anything else a plain string.
+    ``True`` a bool and anything else a plain string.  (An alias of
+    :func:`repro.refs.parse_literal`, the grammar's literal value parser.)
     """
-    try:
-        return ast.literal_eval(text)
-    except (ValueError, SyntaxError):
-        return text
+    from repro.refs import parse_literal as _refs_parse_literal
+
+    return _refs_parse_literal(text)
 
 
 _parse_value = parse_literal
@@ -287,17 +286,17 @@ class PolicySpec:
             params = dict(value.get("params") or {})
             spec = cls(kind, str(value["name"]), tuple(sorted(params.items())))
         elif isinstance(value, str):
-            name, _, query = value.partition("?")
-            params: Dict[str, Any] = {}
-            if query:
-                for pair in query.split("&"):
-                    key, separator, text = pair.partition("=")
-                    if not separator or not key:
-                        raise ValueError(
-                            f"malformed policy parameter {pair!r} in {value!r}; "
-                            "expected name?key=value&key=value"
-                        )
-                    params[key.strip()] = _parse_value(text.strip())
+            from repro.refs import parse_query, split_reference
+
+            name, query = split_reference(value)
+            params = parse_query(
+                query,
+                value_parser=_parse_value,
+                malformed=lambda pair: (
+                    f"malformed policy parameter {pair!r} in {value!r}; "
+                    "expected name?key=value&key=value"
+                ),
+            )
             spec = cls(kind, name.strip(), tuple(sorted(params.items())))
         else:
             raise TypeError(

@@ -69,6 +69,65 @@ CANCELLED = "cancelled"
 ACTIVE_STATES = (QUEUED, RUNNING)
 
 
+def _execute_checkpointed(
+    config_data: Dict[str, Any], every: float, directory: str
+) -> Dict[str, Any]:
+    """Worker entry point of the ``checkpointed`` operation.
+
+    Runs one configuration through
+    :func:`repro.checkpoint.runner.run_checkpointed`, persisting a native
+    checkpoint under *directory* every *every* simulated seconds.  If the
+    directory already holds checkpoints — a previous attempt died mid-run —
+    the run resumes from the most advanced restorable one instead of
+    starting over; on completion the checkpoints are deleted.  Returns a
+    JSON-shaped windowed summary (streaming metrics, no per-job arrays).
+    """
+    from repro.checkpoint.restore import restore_run
+    from repro.checkpoint.envelope import load_checkpoint
+    from repro.checkpoint.runner import run_checkpointed
+
+    config = ExperimentConfig.from_dict(config_data)
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    best: Optional[Tuple[float, Dict[str, Any]]] = None
+    for candidate in target.glob("state-*.json"):
+        try:
+            data = load_checkpoint(candidate)
+            at = float.fromhex(data["time"])
+        except Exception:
+            continue
+        if best is None or at > best[0]:
+            best = (at, data)
+    run = None
+    resumed_at: Optional[float] = None
+    if best is not None:
+        try:
+            run = restore_run(best[1])
+            resumed_at = best[0]
+        except Exception:
+            run = None
+    out = run_checkpointed(
+        config, checkpoint_every=float(every), path=target / "state.json", run=run
+    )
+    if out["all_done"]:
+        for old in target.glob("state-*.json"):
+            try:
+                old.unlink()
+            except OSError:
+                pass
+    window = out["window"]
+    return {
+        "config": config.to_dict(),
+        "jobs": int(window.jobs),
+        "digest": window.digest,
+        "all_done": bool(out["all_done"]),
+        "simulated_time": float(out["simulated_time"]),
+        "events_processed": int(out["events_processed"]),
+        "checkpoints": int(out["checkpoints"]),
+        "resumed_at": resumed_at,
+    }
+
+
 class _BadRequest(ValueError):
     """A client-side request error; reported with code ``bad_request``."""
 
@@ -337,6 +396,7 @@ class ExperimentService:
             "cancel": self._op_cancel,
             "batch": self._op_batch,
             "run_and_wait": self._op_run_and_wait,
+            "checkpointed": self._op_checkpointed,
             "status": self._op_status,
             "shutdown": self._op_shutdown,
         }.get(op)
@@ -387,7 +447,9 @@ class ExperimentService:
         data = request.get("config")
         if not isinstance(data, dict):
             raise ValueError("'config' must be a mapping of experiment-config fields")
-        config = ExperimentConfig.from_dict(data)
+        # Strict parse: a typo'd field name in a submit request fails here
+        # with the valid fields listed, instead of being silently dropped.
+        config = ExperimentConfig.from_fields(data)
         return config_key(config), config.to_dict()
 
     # -- the submit path (shared by submit/batch/run_and_wait) ---------------
@@ -643,6 +705,38 @@ class ExperimentService:
             key=key,
             state=job.state,
         )
+
+    async def _op_checkpointed(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one config with periodic checkpoints; crash-resumable.
+
+        Unlike ``submit``, the result is a streaming windowed summary (flat
+        memory however long the run), not a full per-job record, so the job
+        never enters the result store.  The checkpoints live under the
+        store directory keyed by the config, which is what makes a repeat
+        request after a daemon crash resume instead of restart.
+        """
+        try:
+            key, config = self._parse_config(request)
+        except (TypeError, ValueError) as error:
+            return protocol.error_response("checkpointed", "bad_config", str(error))
+        every = request.get("checkpoint_every", 3600.0)
+        try:
+            every = float(every)
+        except (TypeError, ValueError):
+            raise _BadRequest(
+                f"'checkpoint_every' must be a number of simulated seconds, "
+                f"got {every!r}"
+            ) from None
+        if every <= 0:
+            raise _BadRequest("'checkpoint_every' must be positive")
+        assert self._slots is not None and self._pool is not None
+        directory = self.store.directory / "checkpoints" / key
+        async with self._slots:
+            self.executions += 1
+            payload = await asyncio.get_running_loop().run_in_executor(
+                self._pool, _execute_checkpointed, config, every, str(directory)
+            )
+        return protocol.ok_response("checkpointed", key=key, **payload)
 
     async def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
         states: Dict[str, int] = {

@@ -54,6 +54,7 @@ OPERATIONS = (
     "cancel",
     "batch",
     "run_and_wait",
+    "checkpointed",
     "status",
     "shutdown",
 )

@@ -94,6 +94,14 @@ class HeapQueue:
         items = self.items
         return items[0][0] if items else inf
 
+    def entries(self) -> List[Entry]:
+        """Sorted snapshot of every pending entry (no mutation).
+
+        Checkpoint introspection: the drain order the queue would produce
+        from here, identical across both implementations.
+        """
+        return sorted(self.items)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<HeapQueue {len(self.items)} entries>"
 
@@ -133,7 +141,7 @@ class CalendarQueue:
     dict), ``len()`` and ``repr()``.
     """
 
-    __slots__ = ("name", "push", "pop", "peek_time", "stats")
+    __slots__ = ("name", "push", "pop", "peek_time", "stats", "entries")
 
     #: Smallest bucket-array size the queue shrinks down to.
     MIN_BUCKETS = 16
@@ -299,10 +307,23 @@ class CalendarQueue:
             """Snapshot of the queue geometry (size, bucket count, width)."""
             return {"size": size, "buckets": mask + 1, "width": width}
 
+        def entries() -> List[Entry]:
+            """Sorted snapshot of every pending entry (no mutation).
+
+            Checkpoint introspection: the drain order the queue would
+            produce from here, identical across both implementations.
+            """
+            out: List[Entry] = []
+            for bucket in buckets:
+                out.extend(bucket)
+            out.sort()
+            return out
+
         self.push = push
         self.pop = pop
         self.peek_time = peek_time
         self.stats = stats
+        self.entries = entries
 
     def __len__(self) -> int:
         return self.stats()["size"]

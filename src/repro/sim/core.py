@@ -181,9 +181,78 @@ class Environment:
         self._eid = eid = self._eid + 1
         self._push((self._now + delay, priority, eid, event))
 
+    def schedule_at(self, event: Event, at: float, priority: int = NORMAL) -> None:
+        """Schedule *event* for processing at the absolute time *at*.
+
+        The restore path's scheduling primitive: a checkpoint records
+        absolute event times, and ``now + (at - now)`` does not round-trip
+        in IEEE floating point, so rehydrated events must be pushed at *at*
+        itself to land back on the exact original drain order.
+        """
+        if at < self._now:
+            raise ValueError(
+                f"cannot schedule at {at}, earlier than the current time {self._now}"
+            )
+        self._eid = eid = self._eid + 1
+        self._push((at, priority, eid, event))
+
+    def timeout_at(self, at: float, value: Any = None) -> Timeout:
+        """An event that triggers at the absolute time *at* (``>= now``).
+
+        The absolute-time counterpart of :meth:`timeout`, sharing its free
+        list.  Used when restoring checkpointed state: in-flight work whose
+        completion time was recorded absolutely must finish at that exact
+        float, not at ``now + delta``.
+        """
+        if at < self._now:
+            raise ValueError(
+                f"timeout_at({at}) lies before the current time {self._now}"
+            )
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+        else:
+            # Build an unscheduled Timeout by hand: the constructor always
+            # pushes at ``now + delay``, which is exactly the rounding this
+            # method exists to avoid.
+            event = Timeout.__new__(Timeout)
+            event.env = self
+            event.callbacks = []
+        event._delay = at - self._now
+        event._ok = True
+        event._value = value
+        event.defused = False
+        self._eid = eid = self._eid + 1
+        self._push((at, NORMAL, eid, event))
+        return event
+
     def peek(self) -> float:
         """Return the time of the next scheduled event, or ``inf`` if none."""
         return self._queue.peek_time()
+
+    def pending_entries(self):
+        """Sorted snapshot of every pending ``(time, priority, id, event)``.
+
+        Checkpoint introspection (both queue backends): the drain order the
+        simulation would continue with.  A snapshot — mutating the returned
+        list does not touch the queue.
+        """
+        return self._queue.entries()
+
+    def kernel_state(self) -> dict:
+        """JSON-able fingerprint of the kernel: clock, counters, queue shape.
+
+        Captured into checkpoint envelopes so a restore can verify it
+        re-created (or re-reached) exactly the state that was saved.
+        """
+        return {
+            "now": self._now,
+            "event_id": self._eid,
+            "events_processed": self._events_processed,
+            "queue": self._queue.name,
+            "pending": len(self._queue),
+            "timeout_pool": len(self._timeout_pool),
+        }
 
     def step(self) -> None:
         """Process the next scheduled event.

@@ -62,6 +62,7 @@ from repro.workloads.traces import (
     trace_fingerprint,
 )
 from repro.workloads.submission import WorkloadSubmitter
+from repro.workloads.bursts import burst_workload
 
 __all__ = [
     "HeadLimit",
@@ -81,6 +82,7 @@ __all__ = [
     "apply_transforms",
     "build_named_workload",
     "build_trace_workload",
+    "burst_workload",
     "is_trace_reference",
     "iter_jobspecs",
     "known_traces",

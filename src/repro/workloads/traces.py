@@ -357,8 +357,12 @@ def open_trace(name: str, **params: Any) -> Iterator[SwfJob]:
                 f"{sorted(params)}"
             )
         return SwfReader().iter_records(path)
+    from repro.refs import suggest
+
     known = ", ".join(entry for entry, _ in known_traces()) or "(none)"
-    raise ValueError(f"unknown trace {name!r}; known: {known}")
+    hint = suggest(name, (entry for entry, _ in known_traces()))
+    suffix = f"; did you mean {hint!r}?" if hint else ""
+    raise ValueError(f"unknown trace {name!r}; known: {known}{suffix}")
 
 
 def trace_fingerprint(reference: str) -> Optional[str]:
@@ -421,12 +425,9 @@ TRANSFORM_PARAMS = (
 
 
 def _parse_value(text: str) -> Union[int, float, str]:
-    for parser in (int, float):
-        try:
-            return parser(text)
-        except ValueError:
-            continue
-    return text
+    from repro.refs import parse_scalar
+
+    return parse_scalar(text)
 
 
 @dataclass(frozen=True)
@@ -439,28 +440,26 @@ class TraceRef:
     @classmethod
     def parse(cls, reference: str) -> "TraceRef":
         """Parse ``"trace:<name>?k=v&k=v"`` (the prefix is optional here)."""
-        text = reference[len(TRACE_PREFIX):] if is_trace_reference(reference) else reference
-        name, _, query = text.partition("?")
+        from repro.refs import parse_query, split_reference
+
+        name, query = split_reference(reference, prefix=TRACE_PREFIX)
         if not name:
             raise ValueError(f"empty trace name in reference {reference!r}")
-        params: Dict[str, Any] = {}
-        if query:
-            for part in query.split("&"):
-                key, separator, value = part.partition("=")
-                if not separator or not key:
-                    raise ValueError(
-                        f"malformed trace parameter {part!r} in {reference!r} "
-                        "(expected key=value)"
-                    )
-                params[key.strip()] = _parse_value(value.strip())
+        params = parse_query(
+            query,
+            value_parser=_parse_value,
+            malformed=lambda part: (
+                f"malformed trace parameter {part!r} in {reference!r} "
+                "(expected key=value)"
+            ),
+        )
         return cls(trace=name, params=params)
 
     def canonical(self) -> str:
         """The canonical reference string (sorted parameters, with prefix)."""
-        if not self.params:
-            return f"{TRACE_PREFIX}{self.trace}"
-        query = "&".join(f"{key}={self.params[key]}" for key in sorted(self.params))
-        return f"{TRACE_PREFIX}{self.trace}?{query}"
+        from repro.refs import render_reference
+
+        return render_reference(self.trace, self.params, prefix=TRACE_PREFIX)
 
     def opener_params(self) -> Dict[str, Any]:
         """The parameters forwarded to the trace opener."""

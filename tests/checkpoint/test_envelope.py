@@ -1,0 +1,85 @@
+"""Envelope schema, atomic persistence and the content-addressed store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    RestoreError,
+    checkpoint_key,
+    load_checkpoint,
+    save_checkpoint,
+    validate_envelope,
+)
+
+
+def _envelope(time_hex: str = (0.0).hex()) -> dict:
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "mode": "replay",
+        "config": {"name": "x"},
+        "time": time_hex,
+    }
+
+
+def test_validate_accepts_minimal_envelope():
+    validate_envelope(_envelope())
+
+
+@pytest.mark.parametrize("missing", ["format", "mode", "config", "time"])
+def test_validate_rejects_missing_field(missing):
+    data = _envelope()
+    del data[missing]
+    with pytest.raises(RestoreError):
+        validate_envelope(data)
+
+
+def test_validate_rejects_format_mismatch():
+    data = _envelope()
+    data["format"] = CHECKPOINT_FORMAT + 1
+    with pytest.raises(RestoreError, match="format"):
+        validate_envelope(data)
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    data = _envelope()
+    path = tmp_path / "ckpt.json"
+    save_checkpoint(data, path)
+    assert load_checkpoint(path) == data
+    # The file is plain JSON, inspectable by hand.
+    assert json.loads(path.read_text())["mode"] == "replay"
+
+
+def test_load_rejects_corrupt_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(RestoreError):
+        load_checkpoint(path)
+
+
+def test_checkpoint_key_depends_on_config_and_time():
+    config = {"name": "a", "seed": 0}
+    key = checkpoint_key(config, (10.0).hex())
+    assert key == checkpoint_key({"seed": 0, "name": "a"}, (10.0).hex())
+    assert key != checkpoint_key(config, (11.0).hex())
+    assert key != checkpoint_key({"name": "b", "seed": 0}, (10.0).hex())
+
+
+def test_store_roundtrip_and_keys(tmp_path):
+    store = CheckpointStore(tmp_path)
+    data = _envelope()
+    key = store.save(data)
+    assert key == store.key_for(data)
+    assert store.load(key) == data
+    assert key in store.keys()
+    store.clear()
+    assert store.load(key) is None
+
+
+def test_store_load_unknown_key(tmp_path):
+    store = CheckpointStore(tmp_path)
+    assert store.load("0" * 64) is None

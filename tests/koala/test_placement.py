@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import Multicluster
+from repro.policies.registry import build_policy
 from repro.koala import (
     CloseToFiles,
     ClusterMinimization,
@@ -13,7 +14,6 @@ from repro.koala import (
     JobComponent,
     JobKind,
     WorstFit,
-    make_placement_policy,
 )
 
 
@@ -163,18 +163,18 @@ def test_flexible_cluster_minimization_fails_when_system_is_too_small(system, ga
 # ---------------------------------------------------------------------------
 
 
-def test_make_placement_policy_by_name():
-    assert isinstance(make_placement_policy("WF"), WorstFit)
-    assert isinstance(make_placement_policy("cf"), CloseToFiles)
-    assert isinstance(make_placement_policy("CM"), ClusterMinimization)
-    assert isinstance(make_placement_policy("FCM"), FlexibleClusterMinimization)
+def test_build_placement_policy_by_name():
+    assert isinstance(build_policy("placement", "WF"), WorstFit)
+    assert isinstance(build_policy("placement", "cf"), CloseToFiles)
+    assert isinstance(build_policy("placement", "CM"), ClusterMinimization)
+    assert isinstance(build_policy("placement", "FCM"), FlexibleClusterMinimization)
     with pytest.raises(ValueError):
-        make_placement_policy("nope")
+        build_policy("placement", "nope")
 
 
 def test_policies_never_mutate_the_idle_view(system, gadget2):
     idle = {"big": 20, "medium": 10, "small": 5}
     snapshot = dict(idle)
     for name in ("WF", "CF", "CM", "FCM"):
-        make_placement_policy(name).place(single_component_job(gadget2, 8), idle, system)
+        build_policy("placement", name).place(single_component_job(gadget2, 8), idle, system)
         assert idle == snapshot

@@ -7,11 +7,11 @@ import pytest
 from repro.apps import gadget2_profile
 from repro.cluster import Multicluster
 from repro.koala import Job, KoalaScheduler, SchedulerConfig
+from repro.policies.registry import build_policy
 from repro.malleability import (
     MalleabilityManager,
     PrecedenceToRunningApplications,
     PrecedenceToWaitingApplications,
-    make_approach,
 )
 from repro.sim import RandomStreams
 
@@ -38,11 +38,11 @@ def build(env, *, approach="PRA", policy="FPSMA", offer_mode="released", nodes=2
     return system, scheduler
 
 
-def test_make_approach_factory():
-    assert isinstance(make_approach("PRA"), PrecedenceToRunningApplications)
-    assert isinstance(make_approach("pwa"), PrecedenceToWaitingApplications)
+def test_build_approach_by_name():
+    assert isinstance(build_policy("approach", "PRA"), PrecedenceToRunningApplications)
+    assert isinstance(build_policy("approach", "pwa"), PrecedenceToWaitingApplications)
     with pytest.raises(ValueError):
-        make_approach("xyz")
+        build_policy("approach", "xyz")
 
 
 def test_manager_validation(env):

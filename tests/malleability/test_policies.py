@@ -14,13 +14,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps import AnySize, PowerOfTwo, SizeConstraint
+from repro.policies.registry import build_policy
 from repro.malleability import (
     EGS,
     FPSMA,
     EquiGrowShrink,
     Equipartition,
     Folding,
-    make_malleability_policy,
 )
 
 
@@ -196,12 +196,12 @@ def test_folding_doubles_and_halves():
 
 
 def test_policy_factory():
-    assert isinstance(make_malleability_policy("FPSMA"), FPSMA)
-    assert isinstance(make_malleability_policy("egs"), EquiGrowShrink)
-    assert isinstance(make_malleability_policy("EQUIPARTITION"), Equipartition)
-    assert isinstance(make_malleability_policy("folding"), Folding)
+    assert isinstance(build_policy("malleability", "FPSMA"), FPSMA)
+    assert isinstance(build_policy("malleability", "egs"), EquiGrowShrink)
+    assert isinstance(build_policy("malleability", "EQUIPARTITION"), Equipartition)
+    assert isinstance(build_policy("malleability", "folding"), Folding)
     with pytest.raises(ValueError):
-        make_malleability_policy("unknown")
+        build_policy("malleability", "unknown")
 
 
 # ---------------------------------------------------------------------------

@@ -5,17 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.setup import ExperimentConfig
-from repro.koala.placement import (
-    CloseToFiles,
-    WorstFit,
-    make_placement_policy,
-)
+from repro.koala.placement import CloseToFiles, WorstFit
 from repro.koala.scheduler import SchedulerConfig
-from repro.malleability.manager import (
-    PrecedenceToRunningApplications,
-    make_approach,
-)
-from repro.malleability.policies import EquiGrowShrink, make_malleability_policy
+from repro.malleability.manager import PrecedenceToRunningApplications
+from repro.malleability.policies import EquiGrowShrink
 from repro.policies import (
     KINDS,
     PolicySpec,
@@ -163,37 +156,30 @@ def test_signature_and_doc_rendering():
     assert policy_doc(EquiGrowShrink).startswith("Equi-Grow")
 
 
-# -- legacy factory shims -----------------------------------------------------
+# -- registry construction across every axis ----------------------------------
 
 
-def test_make_factories_delegate_to_registry_with_deprecation():
-    with pytest.deprecated_call():
-        placement = make_placement_policy("wf")
-    assert isinstance(placement, WorstFit)
-    with pytest.deprecated_call():
-        malleability = make_malleability_policy("egs")
-    assert isinstance(malleability, EquiGrowShrink)
-    with pytest.deprecated_call():
-        approach = make_approach("pra")
-    assert isinstance(approach, PrecedenceToRunningApplications)
+def test_build_policy_across_all_axes():
+    assert isinstance(build_policy("placement", "wf"), WorstFit)
+    assert isinstance(build_policy("malleability", "egs"), EquiGrowShrink)
+    assert isinstance(
+        build_policy("approach", "pra"), PrecedenceToRunningApplications
+    )
 
 
-def test_make_factories_still_raise_value_error_on_unknown_names():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError):
-            make_placement_policy("nope")
-        with pytest.raises(ValueError):
-            make_malleability_policy("nope")
-        with pytest.raises(ValueError):
-            make_approach("nope")
+def test_build_policy_raises_value_error_on_unknown_names():
+    with pytest.raises(ValueError):
+        build_policy("placement", "nope")
+    with pytest.raises(ValueError):
+        build_policy("malleability", "nope")
+    with pytest.raises(ValueError):
+        build_policy("approach", "nope")
 
 
-def test_shim_equivalent_to_registry_construction():
-    with pytest.warns(DeprecationWarning):
-        shimmed = make_placement_policy("CF", file_size_mb=123.0)
+def test_parameterised_reference_constructs_configured_instance():
     direct = build_policy("placement", "CF?file_size_mb=123.0")
-    assert type(shimmed) is type(direct)
-    assert shimmed.file_size_mb == direct.file_size_mb == 123.0
+    assert isinstance(direct, CloseToFiles)
+    assert direct.file_size_mb == 123.0
 
 
 # -- config-construction-time validation -------------------------------------

@@ -1,0 +1,71 @@
+"""The unified reference grammar (``repro.refs``) directly.
+
+The three families (``PolicySpec``, ``TraceRef``, ``FaultRef``) keep their
+own behavioural tests; these pin the shared grammar they all delegate to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.refs import (
+    FAULT_PREFIX,
+    Ref,
+    parse_literal,
+    parse_query,
+    parse_reference,
+    parse_scalar,
+    render_reference,
+    split_reference,
+    suggest,
+    unknown_name_error,
+)
+
+
+def test_split_reference_prefix_is_optional():
+    assert split_reference("fault:churn?mtbf=3600", prefix=FAULT_PREFIX) == (
+        "churn",
+        "mtbf=3600",
+    )
+    assert split_reference("churn", prefix=FAULT_PREFIX) == ("churn", "")
+    assert split_reference("EASY?reserve_depth=2") == ("EASY", "reserve_depth=2")
+
+
+def test_value_parsers_differ_by_family():
+    # Policies parse Python literals; traces/faults the narrower scalar.
+    assert parse_literal("True") is True
+    assert parse_scalar("True") == "True"
+    for parser in (parse_literal, parse_scalar):
+        assert parser("30") == 30
+        assert parser("0.5") == 0.5
+        assert parser("delft") == "delft"
+
+
+def test_parse_query_rejects_malformed_pairs():
+    with pytest.raises(ValueError, match="key=value"):
+        parse_query("mtbf")
+    with pytest.raises(ValueError, match="custom wording"):
+        parse_query("=3600", malformed=lambda part: f"custom wording {part!r}")
+
+
+def test_canonical_form_sorts_query_pairs():
+    reference = parse_reference("trace:x?b=2&a=1", prefix="trace:")
+    assert reference == Ref(prefix="trace:", name="x", params=(("a", 1), ("b", 2)))
+    assert reference.canonical() == "trace:x?a=1&b=2"
+    assert str(reference) == reference.canonical()
+    assert render_reference("x", {}, prefix="trace:") == "trace:x"
+    # The property the cache keys rely on: equal refs render equally.
+    assert parse_reference("trace:x?a=1&b=2", prefix="trace:") == reference
+
+
+def test_parse_reference_rejects_empty_name():
+    with pytest.raises(ValueError, match="empty reference name"):
+        parse_reference("?a=1")
+
+
+def test_unknown_name_error_suggests():
+    error = unknown_name_error("fault model", "xchurn", ["churn", "outage"])
+    assert "unknown fault model 'xchurn'" in str(error)
+    assert "registered: churn, outage" in str(error)
+    assert "did you mean 'churn'?" in str(error)
+    assert suggest("zzzz", ["churn"]) is None

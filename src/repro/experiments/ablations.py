@@ -28,11 +28,13 @@ from repro.metrics.reports import summary_table
 
 
 def _run(spec, *, job_count: int, seed: int, jobs: int, cache, refresh: bool):
-    from repro.experiments.scenarios import run_scenario
+    from repro.experiments.scenarios import run_scenario, strip_seed_suffix
 
-    return run_scenario(
+    results = run_scenario(
         spec, job_count=job_count, seed=seed, jobs=jobs, cache=cache, refresh=refresh
     )
+    # One root seed => the bare variant label is still unique.
+    return {strip_seed_suffix(label): result for label, result in results.items()}
 
 
 def run_approach_ablation(

@@ -283,6 +283,53 @@ def _trace_reference(args: argparse.Namespace) -> Optional[str]:
     return TraceRef(trace=ref.trace, params=params).validate().canonical()
 
 
+def _seed_list(text: str) -> tuple:
+    """Parse a comma-separated seed grid (``"0,1,2"``)."""
+    try:
+        seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+    if not seeds:
+        raise argparse.ArgumentTypeError("at least one seed is required")
+    if any(seed < 0 for seed in seeds):
+        raise argparse.ArgumentTypeError(f"seeds must be non-negative, got {text!r}")
+    if len(set(seeds)) != len(seeds):
+        raise argparse.ArgumentTypeError(f"seeds must be distinct, got {text!r}")
+    return seeds
+
+
+def _name_list(text: str) -> tuple:
+    """Parse a comma-separated name list; ``none`` entries become ``None``."""
+    names = tuple(
+        None if part.strip().lower() in ("none", "off") else part.strip()
+        for part in text.split(",")
+        if part.strip()
+    )
+    if not names:
+        raise argparse.ArgumentTypeError("at least one entry is required")
+    return names
+
+
+def _float_list(text: str) -> tuple:
+    """Parse a comma-separated list of floats."""
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("at least one entry is required")
+    return values
+
+
+def _confidence(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"confidence must lie strictly in (0, 1), got {value}"
+        )
+    return value
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -474,6 +521,108 @@ def build_parser() -> argparse.ArgumentParser:
     custom.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
     _add_trace_options(custom)
     _add_fault_options(custom)
+
+    tournament = subparsers.add_parser(
+        "tournament",
+        help="replicate a scenario across a seed grid and rank its variants "
+        "with bootstrap confidence intervals and a Pareto frontier",
+    )
+    _add_scenario_selector(tournament)
+    tournament.add_argument(
+        "--seeds",
+        type=_seed_list,
+        default=(0, 1, 2),
+        metavar="S0,S1,...",
+        help="comma-separated root seeds, one replica per seed (default 0,1,2)",
+    )
+    tournament.add_argument(
+        "--confidence",
+        type=_confidence,
+        default=0.95,
+        metavar="LEVEL",
+        help="two-sided bootstrap confidence level (default 0.95)",
+    )
+    tournament.add_argument(
+        "--resamples",
+        type=_positive_int,
+        default=1000,
+        metavar="N",
+        help="bootstrap resamples per interval (default 1000)",
+    )
+    tournament.add_argument(
+        "--metric",
+        default="mean_response_time",
+        help="summary metric the ranking orders by (default mean_response_time)",
+    )
+    tournament.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes to fan the replicas out over (default 1: serial)",
+    )
+    tournament.add_argument(
+        "--job-count",
+        type=_positive_int,
+        default=None,
+        help="jobs per workload (default: scenario's)",
+    )
+    tournament.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the result cache"
+    )
+    tournament.add_argument(
+        "--refresh", action="store_true", help="ignore cached results but store fresh ones"
+    )
+    tournament.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"result cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+    tournament.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="run the grid on the experiment daemon listening on this Unix "
+        "socket (batch submission; --jobs/--cache-dir do not apply)",
+    )
+    tournament.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="daemon-side wait bound per replica (with --socket)",
+    )
+    grid = tournament.add_argument_group(
+        "grid flags (build a custom policy x load x fault grid instead of a "
+        "registered scenario; only valid without --scenario or with "
+        "--scenario tournament)"
+    )
+    grid.add_argument(
+        "--policies",
+        type=_name_list,
+        default=None,
+        metavar="P0,P1,...",
+        help="malleability policies to enter ('none' = no malleability)",
+    )
+    grid.add_argument(
+        "--trace",
+        default=None,
+        metavar="NAME",
+        help="trace the grid replays (default das3-synthetic)",
+    )
+    grid.add_argument(
+        "--load-factors",
+        type=_float_list,
+        default=None,
+        metavar="X0,X1,...",
+        help="arrival load factors to sweep (default 1,2)",
+    )
+    grid.add_argument(
+        "--faults",
+        type=_name_list,
+        default=None,
+        metavar="REF0,REF1,...",
+        help="fault-model references to sweep ('none' = fault-free)",
+    )
 
     shard = subparsers.add_parser(
         "shard-replay",
@@ -697,6 +846,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     {label: r.metrics for label, r in results.items()},
                     title=f"Sweep {spec.name} ({len(results)} runs)",
                 )
+    elif args.command == "tournament":
+        from repro.stats import run_tournament, tournament_report
+
+        grid_flags = (
+            args.policies is not None
+            or args.trace is not None
+            or args.load_factors is not None
+            or args.faults is not None
+        )
+        try:
+            name = args.scenario or args.scenario_option
+            if grid_flags:
+                if name is not None and name != "tournament":
+                    raise ValueError(
+                        "grid flags (--policies/--trace/--load-factors/--faults) "
+                        f"build a custom grid and cannot be combined with "
+                        f"scenario {name!r}"
+                    )
+                from repro.experiments.scenarios import tournament_scenario
+
+                grid_kwargs: dict = {"name": "tournament-custom"}
+                if args.policies is not None:
+                    grid_kwargs["policies"] = args.policies
+                if args.trace is not None:
+                    grid_kwargs["trace"] = args.trace
+                if args.load_factors is not None:
+                    grid_kwargs["load_factors"] = args.load_factors
+                if args.faults is not None:
+                    grid_kwargs["fault_models"] = args.faults
+                spec = tournament_scenario(**grid_kwargs)
+            else:
+                spec = get_scenario(name or "tournament")
+        except ValueError as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises
+        client = None
+        if args.socket:
+            from repro.service.client import ServiceClient
+
+            client = ServiceClient(socket_path=args.socket)
+        try:
+            if client is not None and (
+                args.jobs != 1 or args.no_cache or args.refresh or args.cache_dir
+            ):
+                raise ValueError(
+                    "--socket delegates execution to the daemon; "
+                    "--jobs/--no-cache/--refresh/--cache-dir do not apply"
+                )
+            result = run_tournament(
+                spec,
+                seeds=args.seeds,
+                rank_metric=args.metric,
+                confidence=args.confidence,
+                resamples=args.resamples,
+                job_count=args.job_count,
+                jobs=args.jobs,
+                cache=None if client is not None else _cache_from(args),
+                refresh=args.refresh,
+                client=client,
+                timeout=args.timeout,
+            )
+        except (KeyError, ValueError, ConnectionError, OSError) as error:
+            parser.error(str(error))
+            return 2  # pragma: no cover - parser.error raises
+        finally:
+            if client is not None:
+                client.close()
+        if result.truncated_entrants:
+            print(
+                "warning: truncated replicas (metrics partial): "
+                + ", ".join(result.truncated_entrants),
+                file=sys.stderr,
+            )
+        report = tournament_report(result)
     elif args.command == "shard-replay":
         from repro.checkpoint import CheckpointUnsupported
         from repro.checkpoint.shard import DEFAULT_MIN_GAP, shard_bench_config, shard_replay

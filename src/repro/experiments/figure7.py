@@ -73,9 +73,9 @@ def run_figure7(
     :class:`~repro.experiments.engine.ResultCache`) skips configurations that
     already ran.
     """
-    from repro.experiments.scenarios import figure7_scenario, run_scenario
+    from repro.experiments.scenarios import figure7_scenario, run_scenario, strip_seed_suffix
 
-    return run_scenario(
+    results = run_scenario(
         figure7_scenario(combinations),
         job_count=job_count,
         seed=seed,
@@ -84,6 +84,8 @@ def run_figure7(
         refresh=refresh,
         overrides={"grow_threshold": grow_threshold} if grow_threshold else None,
     )
+    # One root seed => the bare "policy/workload" key is still unique.
+    return {strip_seed_suffix(label): result for label, result in results.items()}
 
 
 def _metrics(results: Dict[str, ExperimentResult]) -> Dict[str, ExperimentMetrics]:

@@ -78,9 +78,9 @@ def run_figure8(
     :class:`~repro.experiments.engine.ResultCache`) skips configurations that
     already ran.
     """
-    from repro.experiments.scenarios import figure8_scenario, run_scenario
+    from repro.experiments.scenarios import figure8_scenario, run_scenario, strip_seed_suffix
 
-    return run_scenario(
+    results = run_scenario(
         figure8_scenario(combinations),
         job_count=job_count,
         seed=seed,
@@ -89,6 +89,8 @@ def run_figure8(
         refresh=refresh,
         overrides={"grow_threshold": grow_threshold} if grow_threshold else None,
     )
+    # One root seed => the bare "policy/workload" key is still unique.
+    return {strip_seed_suffix(label): result for label, result in results.items()}
 
 
 def _metrics(results: Dict[str, ExperimentResult]) -> Dict[str, ExperimentMetrics]:

@@ -30,6 +30,7 @@ report directly.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from functools import partial
 from typing import (
@@ -135,10 +136,18 @@ class ScenarioSpec:
         ``@seed<N>`` / ``#rep<N>`` suffixes only when needed, so the common
         case keys results exactly like the paper's legends
         (``"FPSMA/Wm"``).
+
+        "When needed" includes a *seed* override that changes the grid: two
+        runs of the same scenario with different ``--seed`` values must not
+        produce colliding bare labels that overwrite each other in merged
+        reports, so the suffix appears whenever the effective seed grid
+        differs from the spec's own (only ``seed == the spec's sole default``
+        stays bare).
         """
         if self.is_static:
             raise ValueError(f"scenario {self.name!r} is static and has no config grid")
         seeds = (int(seed),) if seed is not None else self.seeds
+        label_seeds = len(seeds) > 1 or (seed is not None and seeds != self.seeds)
         pairs: List[Tuple[str, ExperimentConfig]] = []
         for variant in self.variants:
             for root_seed in seeds:
@@ -156,7 +165,7 @@ class ScenarioSpec:
                         "name", f"{self.name}-{_slug(variant.label)}"
                     )
                     label = variant.label
-                    if len(seeds) > 1:
+                    if label_seeds:
                         label += f"@seed{root_seed}"
                     if self.repetitions > 1:
                         label += f"#rep{repetition}"
@@ -167,6 +176,20 @@ class ScenarioSpec:
                         (label, ExperimentConfig().with_overrides(**fields))
                     )
         return pairs
+
+
+_SEED_SUFFIX = re.compile(r"@seed\d+")
+
+
+def strip_seed_suffix(label: str) -> str:
+    """*label* without its ``@seed<N>`` suffix (``#rep<N>`` is kept).
+
+    For callers that collapse a scenario to a single root seed — the figure
+    and ablation wrappers — the seed suffix carries no information and the
+    bare variant label is still unique, so they re-key their results with
+    this to keep the documented ``"policy/workload"`` keys.
+    """
+    return _SEED_SUFFIX.sub("", label)
 
 
 def _slug(label: str) -> str:
@@ -750,6 +773,67 @@ def background_load_ablation_scenario(
     )
 
 
+def _tournament_results_report(results: Dict[str, ExperimentResult]) -> str:
+    """Reporter hook of the tournament scenario (lazy: no stats import here)."""
+    from repro.stats.tournament import tournament_report_from_results
+
+    return tournament_report_from_results(results, title="tournament")
+
+
+def tournament_scenario(
+    *,
+    policies: Sequence[Optional[str]] = ("FPSMA", "EGS"),
+    trace: str = "das3-synthetic",
+    load_factors: Sequence[float] = (1.0, 2.0),
+    fault_models: Sequence[Optional[str]] = (None, "fault:exp?mtbf=21600&mttr=900"),
+    seeds: Sequence[int] = (0, 1, 2),
+    default_job_count: int = 20,
+    name: str = "tournament",
+) -> ScenarioSpec:
+    """A policy × trace × load_factor × fault_model tournament grid.
+
+    Every cell of the cross product replays the *same* trace — rescaled per
+    load factor, struck (or not) by the fault model — under one malleability
+    policy, across the whole seed grid.  The reporter aggregates the
+    replicas into means and bootstrap confidence intervals and ranks the
+    entrants (see :mod:`repro.stats.tournament`); the statistics layer can
+    also replicate the spec directly via ``repro-cli tournament``.
+
+    The variants are plain data on purpose: building the grid must not pull
+    the statistics layer in at import time (only the reporter does, lazily),
+    which keeps the registry import-cycle-free.
+    """
+
+    def fault_tag(fault: Optional[str]) -> str:
+        return "no-faults" if fault is None else fault.split(":", 1)[-1]
+
+    return ScenarioSpec(
+        name=name,
+        title="Tournament - policy x load x faults grid with multi-seed CIs",
+        base={"approach": "PRA", "placement_policy": "WF"},
+        variants=tuple(
+            ScenarioVariant(
+                f"{policy or 'no-malleability'}/load={factor:g}x/{fault_tag(fault)}",
+                {
+                    "malleability_policy": policy,
+                    "workload": f"trace:{trace}?load_factor={factor:g}",
+                    "fault_model": fault,
+                    "name": (
+                        f"{name}-{_slug(policy or 'none')}-{factor:g}"
+                        f"-{_slug(fault_tag(fault))}"
+                    ),
+                },
+            )
+            for policy in policies
+            for factor in load_factors
+            for fault in fault_models
+        ),
+        seeds=tuple(int(seed) for seed in seeds),
+        default_job_count=default_job_count,
+        reporter=_tournament_results_report,
+    )
+
+
 def _shard_replay_bench(**kwargs) -> Dict[str, Any]:
     """Lazy import so the scenario registry never pulls in the shard engine."""
     from repro.checkpoint.shard import shard_replay_bench
@@ -814,5 +898,6 @@ for _factory in (
     fault_sweep_scenario,
     churn_replay_scenario,
     shard_replay_scenario,
+    tournament_scenario,
 ):
     register_scenario(_factory())

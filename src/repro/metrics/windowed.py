@@ -83,7 +83,26 @@ class WindowedMetrics:
         grow_count: int = 0,
         shrink_count: int = 0,
     ) -> None:
-        """Fold one finished job into the window."""
+        """Fold one finished job into the window.
+
+        The interval invariants are validated *before* any field mutates:
+        a record with ``start_time < submit_time`` (a negative wait) or
+        ``finish_time < start_time`` (a negative execution) raises
+        :class:`ValueError` and leaves the window untouched.  The window is
+        the substrate of every downstream statistic — the stats layer must
+        never average garbage, and a silently folded negative wait is
+        exactly the kind of garbage that survives into a mean unnoticed.
+        """
+        if start_time < submit_time:
+            raise ValueError(
+                f"job {name!r} has start_time {start_time!r} earlier than "
+                f"submit_time {submit_time!r} (negative wait time)"
+            )
+        if finish_time < start_time:
+            raise ValueError(
+                f"job {name!r} has finish_time {finish_time!r} earlier than "
+                f"start_time {start_time!r} (negative execution time)"
+            )
         self.jobs += 1
         self.sum_wait += start_time - submit_time
         self.sum_execution += finish_time - start_time

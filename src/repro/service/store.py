@@ -324,8 +324,12 @@ class ResultStore:
         if total <= self.budget_bytes:
             return 0
         evicted = 0
-        # Oldest access first; the freshly written record is exempt.
-        entries.sort(key=lambda pair: pair[1].st_mtime)
+        # Oldest access first; the freshly written record is exempt.  Ties on
+        # mtime are broken by path: filesystems with coarse mtime granularity
+        # routinely stamp several records identically, and without a total
+        # order the victim choice would differ between hosts (and between
+        # runs), defeating reproducible cache behaviour.
+        entries.sort(key=lambda pair: (pair[1].st_mtime, str(pair[0])))
         for path, stat in entries:
             if total <= self.budget_bytes:
                 break

@@ -1,0 +1,137 @@
+"""Sample statistics with bootstrap confidence intervals.
+
+The numerical core of the statistics layer: given the per-replica samples of
+one metric (one value per seed), :class:`MetricStats` carries the mean, the
+sample standard deviation and a bootstrap percentile confidence interval of
+the mean.  Everything is deterministic — the bootstrap resampling runs on a
+:func:`numpy.random.default_rng` generator seeded with a fixed constant — so
+two computations over the same samples produce byte-identical statistics,
+which is what lets tournament reports be compared verbatim across serial,
+parallel and warm-cache executions.
+
+The bootstrap (resample the observed values with replacement, take the mean
+of each resample, read the interval off the percentiles of those means)
+makes no distributional assumption, which matters here: scheduling metrics
+such as response times are heavily skewed, and a normal-theory interval over
+three seeds would be wishful thinking.  With a single sample the interval
+degenerates to the point estimate — honest about what one run shows, which
+is nothing about variability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import nan, sqrt
+from typing import Any, Dict, Iterable, Tuple
+
+import numpy as np
+
+#: Default two-sided confidence level of the bootstrap intervals.
+DEFAULT_CONFIDENCE = 0.95
+
+#: Default number of bootstrap resamples.
+DEFAULT_RESAMPLES = 1000
+
+#: Fixed seed of the bootstrap generator: determinism over cleverness.
+BOOTSTRAP_SEED = 0x5EED
+
+
+def bootstrap_ci(
+    samples: Iterable[float],
+    *,
+    confidence: float = DEFAULT_CONFIDENCE,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = BOOTSTRAP_SEED,
+) -> Tuple[float, float]:
+    """Bootstrap percentile confidence interval of the mean of *samples*.
+
+    Deterministic for a given ``(samples, confidence, resamples, seed)``
+    tuple.  Degenerate inputs degrade gracefully: one sample yields the
+    point interval ``(x, x)``, zero samples yield ``(nan, nan)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie strictly in (0, 1), got {confidence!r}")
+    if resamples < 1:
+        raise ValueError(f"resamples must be at least 1, got {resamples!r}")
+    values = np.asarray(list(samples), dtype=float)
+    if len(values) == 0:
+        return (nan, nan)
+    if len(values) == 1:
+        point = float(values[0])
+        return (point, point)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(values), size=(int(resamples), len(values)))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return (float(lower), float(upper))
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean, spread and confidence interval of one metric over replicas."""
+
+    metric: str
+    count: int
+    mean: float
+    stddev: float
+    ci_lower: float
+    ci_upper: float
+    confidence: float
+
+    @classmethod
+    def from_samples(
+        cls,
+        metric: str,
+        samples: Iterable[float],
+        *,
+        confidence: float = DEFAULT_CONFIDENCE,
+        resamples: int = DEFAULT_RESAMPLES,
+        seed: int = BOOTSTRAP_SEED,
+    ) -> "MetricStats":
+        """Aggregate the per-replica *samples* of *metric*.
+
+        The standard deviation is the sample (``ddof=1``) estimate, ``0.0``
+        for a single replica and ``nan`` for none.
+        """
+        values = [float(value) for value in samples]
+        lower, upper = bootstrap_ci(
+            values, confidence=confidence, resamples=resamples, seed=seed
+        )
+        if not values:
+            mean = stddev = nan
+        else:
+            mean = float(np.mean(values))
+            if len(values) > 1:
+                # Explicit formula instead of np.std(ddof=1): identical
+                # result, but no warning path for the n == 1 case above.
+                centered = np.asarray(values) - mean
+                stddev = float(sqrt(float(np.sum(centered * centered)) / (len(values) - 1)))
+            else:
+                stddev = 0.0
+        return cls(
+            metric=str(metric),
+            count=len(values),
+            mean=mean,
+            stddev=stddev,
+            ci_lower=lower,
+            ci_upper=upper,
+            confidence=float(confidence),
+        )
+
+    @property
+    def ci_width(self) -> float:
+        """Width of the confidence interval (``0.0`` for point intervals)."""
+        return self.ci_upper - self.ci_lower
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation."""
+        return {
+            "metric": self.metric,
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "ci_lower": self.ci_lower,
+            "ci_upper": self.ci_upper,
+            "confidence": self.confidence,
+        }

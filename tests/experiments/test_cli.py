@@ -210,3 +210,79 @@ def test_run_new_policy_scenarios(capsys):
     assert main(["run", "backfilling", "--job-count", "6", "--seed", "1"]) == 0
     output = capsys.readouterr().out
     assert "EASY?reserve_depth=2" in output
+
+
+# -- tournament ---------------------------------------------------------------
+
+
+def test_tournament_prints_a_ranked_report(capsys):
+    assert (
+        main(["tournament", "--scenario", "figure7", "--seeds", "0,1", "--job-count", "4"])
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "Tournament: figure7" in output
+    assert "2 seeds" in output and "95% CI" in output
+    assert "Pareto frontier" in output
+
+
+def test_tournament_repeat_is_byte_identical_from_the_warm_cache(capsys):
+    argv = ["tournament", "--scenario", "figure7", "--seeds", "0,1", "--job-count", "4"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+
+
+def test_tournament_grid_flags_build_a_custom_grid(capsys):
+    assert (
+        main(
+            [
+                "tournament",
+                "--policies",
+                "EGS,none",
+                "--load-factors",
+                "1",
+                "--faults",
+                "none",
+                "--seeds",
+                "0,1",
+                "--job-count",
+                "3",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "Tournament: tournament-custom" in output
+    assert "EGS/load=1x/no-faults" in output
+    assert "no-malleability/load=1x/no-faults" in output
+
+
+def test_tournament_grid_flags_conflict_with_other_scenarios():
+    with pytest.raises(SystemExit):
+        main(["tournament", "--scenario", "figure7", "--policies", "EGS"])
+
+
+def test_tournament_rejects_bad_seed_grids():
+    for seeds in ("", "1,1", "-1"):
+        with pytest.raises(SystemExit):
+            main(["tournament", "--scenario", "figure7", "--seeds", seeds])
+
+
+def test_tournament_rejects_unknown_rank_metric():
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "tournament",
+                "--scenario",
+                "figure7",
+                "--seeds",
+                "0",
+                "--job-count",
+                "2",
+                "--metric",
+                "not_a_metric",
+            ]
+        )

@@ -30,6 +30,7 @@ def test_registry_contains_every_figure_table_and_ablation():
         "ablation-reconfiguration",
         "ablation-placement",
         "ablation-background",
+        "tournament",
     ):
         assert expected in names
     with pytest.raises(ValueError):
@@ -39,11 +40,13 @@ def test_registry_contains_every_figure_table_and_ablation():
 def test_figure7_expansion_matches_the_papers_grid():
     spec = get_scenario("figure7")
     pairs = spec.expand(job_count=10, seed=2)
+    # A non-default seed is part of the label: dropping it would collide
+    # with the seed-0 expansion of the same grid.
     assert [label for label, _ in pairs] == [
-        "FPSMA/Wm",
-        "FPSMA/Wmr",
-        "EGS/Wm",
-        "EGS/Wmr",
+        "FPSMA/Wm@seed2",
+        "FPSMA/Wmr@seed2",
+        "EGS/Wm@seed2",
+        "EGS/Wmr@seed2",
     ]
     for label, config in pairs:
         assert config.job_count == 10
@@ -52,6 +55,30 @@ def test_figure7_expansion_matches_the_papers_grid():
         assert config.placement_policy == "WF"
     assert pairs[0][1].malleability_policy == "FPSMA"
     assert pairs[2][1].workload == "Wm"
+
+
+def test_expansions_under_different_seeds_never_share_labels():
+    """Regression: ``expand(seed=N)`` used to drop the ``@seed<N>`` suffix,
+    so expansions under different root seeds collided on merge."""
+    spec = get_scenario("figure7")
+    merged = {}
+    for seed in (0, 1, 2):
+        for label, config in spec.expand(job_count=4, seed=seed):
+            assert label not in merged, f"label collision: {label!r}"
+            merged[label] = config
+    assert len(merged) == 3 * len(spec.variants)
+    # The spec's own sole default seed keeps the bare label...
+    assert "FPSMA/Wm" in merged
+    # ...and every other root seed is spelled out.
+    assert "FPSMA/Wm@seed1" in merged and "FPSMA/Wm@seed2" in merged
+
+
+def test_strip_seed_suffix_keeps_repetition_suffixes():
+    from repro.experiments.scenarios import strip_seed_suffix
+
+    assert strip_seed_suffix("EGS/Wm@seed7") == "EGS/Wm"
+    assert strip_seed_suffix("EGS/Wm@seed7#rep1") == "EGS/Wm#rep1"
+    assert strip_seed_suffix("EGS/Wm") == "EGS/Wm"
 
 
 def test_figure8_base_carries_the_saturating_background():
@@ -128,8 +155,10 @@ def test_register_scenario_rejects_duplicates_unless_overwritten():
 
 
 def test_run_scenario_returns_results_keyed_by_variant_label():
+    # The non-default root seed stays in the key (collision fix); the
+    # bare-label convenience lives in the figure/ablation wrappers.
     results = run_scenario("ablation-approach", job_count=5, seed=1)
-    assert sorted(results) == ["PRA/EGS/W'm", "PWA/EGS/W'm"]
+    assert sorted(results) == ["PRA/EGS/W'm@seed1", "PWA/EGS/W'm@seed1"]
     for result in results.values():
         assert result.metrics.job_count <= 5
     report = scenario_report("ablation-approach", results)

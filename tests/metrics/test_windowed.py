@@ -1,0 +1,60 @@
+"""Tests of the streaming windowed-metrics accumulator's input validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.windowed import WindowedMetrics
+
+
+def completion(**overrides) -> dict:
+    fields = dict(
+        submit_time=10.0,
+        start_time=20.0,
+        finish_time=50.0,
+        average_allocation=4.0,
+        maximum_allocation=8,
+    )
+    fields.update(overrides)
+    return fields
+
+
+def test_add_completion_accumulates_a_valid_record():
+    window = WindowedMetrics()
+    window.add_completion("job-0", **completion())
+    assert window.jobs == 1
+    assert window.sum_wait == pytest.approx(10.0)
+    assert window.sum_execution == pytest.approx(30.0)
+
+
+def test_negative_wait_time_raises_value_error():
+    """Regression: a start before submit used to fold straight into
+    ``sum_wait`` and silently poison every downstream mean."""
+    window = WindowedMetrics()
+    with pytest.raises(ValueError, match="negative wait"):
+        window.add_completion("job-bad", **completion(start_time=5.0))
+
+
+def test_negative_execution_time_raises_value_error():
+    window = WindowedMetrics()
+    with pytest.raises(ValueError, match="negative execution"):
+        window.add_completion("job-bad", **completion(finish_time=15.0))
+
+
+def test_rejected_completions_leave_the_window_untouched():
+    window = WindowedMetrics()
+    window.add_completion("job-0", **completion())
+    before = window.to_dict()
+    with pytest.raises(ValueError):
+        window.add_completion("job-bad", **completion(start_time=5.0))
+    assert window.to_dict() == before
+
+
+def test_zero_wait_and_zero_execution_are_valid_boundaries():
+    window = WindowedMetrics()
+    window.add_completion(
+        "job-instant", **completion(start_time=10.0, finish_time=10.0)
+    )
+    assert window.jobs == 1
+    assert window.sum_wait == 0.0
+    assert window.sum_execution == 0.0

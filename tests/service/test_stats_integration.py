@@ -1,0 +1,42 @@
+"""Daemon-backed replication: the statistics layer over the service."""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import ScenarioSpec, ScenarioVariant
+from repro.stats import replicate, run_tournament, tournament_report
+
+
+def tiny_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="daemon-stats-test",
+        title="daemon-backed replication grid",
+        variants=(
+            ScenarioVariant("rigid/Wm", {"malleability_policy": None}),
+            ScenarioVariant("EGS/Wm", {"malleability_policy": "EGS"}),
+        ),
+        base={"workload": "Wm", "background_fraction": 0.0},
+        default_job_count=2,
+    )
+
+
+def test_replicate_executes_the_grid_on_the_daemon(daemon):
+    handle = daemon(workers=2)
+    with handle.client() as client:
+        replicas = replicate(tiny_spec(), seeds=(0, 1), client=client)
+    assert list(replicas) == ["rigid/Wm", "EGS/Wm"]
+    for replica in replicas.values():
+        assert replica.seeds == (0, 1)
+        assert len(replica.samples("mean_response_time")) == 2
+    # Every (variant, seed) cell landed in the daemon's store.
+    assert len(list(handle.service.store.keys())) == 4
+
+
+def test_daemon_backed_tournament_matches_local_execution(daemon):
+    spec = tiny_spec()
+    local = tournament_report(run_tournament(spec, seeds=(0, 1)))
+    handle = daemon(workers=2)
+    with handle.client() as client:
+        remote = tournament_report(
+            run_tournament(spec, seeds=(0, 1), client=client)
+        )
+    assert remote == local

@@ -156,6 +156,26 @@ def test_eviction_drops_least_recently_used_first(tmp_path):
     assert sorted(store.keys()) == ["k2", "k4"]
 
 
+def test_eviction_breaks_mtime_ties_by_path(tmp_path):
+    """Regression: with several records stamped with the *same* mtime (coarse
+    filesystem granularity), the victim used to depend on directory-listing
+    order.  The tie must break by path for a reproducible choice."""
+    probe = ResultStore(tmp_path / "store")
+    size = probe.put("k-a", RECORD).stat().st_size
+    store = ResultStore(tmp_path / "store", budget_bytes=int(size * 2.5))
+    store.put("k-b", RECORD)
+    # Stamp both existing records with one identical (old) mtime.
+    stamp = store.path_for("k-a").stat().st_mtime - 500
+    for key in ("k-a", "k-b"):
+        os.utime(store.path_for(key), times=(stamp, stamp))
+    paths = sorted(str(store.path_for(key)) for key in ("k-a", "k-b"))
+    victim_first = {str(store.path_for(k)): k for k in ("k-a", "k-b")}[paths[0]]
+    survivor = "k-b" if victim_first == "k-a" else "k-a"
+    store.put("k-c", RECORD)  # over budget: exactly one tied record goes
+    assert sorted(store.keys()) == sorted([survivor, "k-c"])
+    assert store.stats().evictions == 1
+
+
 def test_record_that_triggered_eviction_is_never_evicted(tmp_path):
     probe = ResultStore(tmp_path / "store")
     size = probe.put("k1", RECORD).stat().st_size

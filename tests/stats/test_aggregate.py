@@ -1,0 +1,101 @@
+"""Tests of the statistics primitives: bootstrap CIs and metric aggregates."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import MetricStats, bootstrap_ci
+
+
+def test_bootstrap_ci_is_deterministic():
+    samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    assert bootstrap_ci(samples) == bootstrap_ci(samples)
+    assert bootstrap_ci(samples) == bootstrap_ci(tuple(samples))
+
+
+def test_bootstrap_ci_brackets_the_mean():
+    samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    lower, upper = bootstrap_ci(samples)
+    mean = sum(samples) / len(samples)
+    assert lower <= mean <= upper
+    assert lower < upper
+
+
+def test_bootstrap_ci_degenerate_sample_counts():
+    assert all(math.isnan(bound) for bound in bootstrap_ci([]))
+    assert bootstrap_ci([7.5]) == (7.5, 7.5)
+    # A constant sample has a zero-width interval wherever it is resampled.
+    assert bootstrap_ci([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+
+def test_bootstrap_ci_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=0.0)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=1.0)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], resamples=0)
+
+
+def test_wider_confidence_means_wider_interval():
+    samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    lo90, hi90 = bootstrap_ci(samples, confidence=0.90)
+    lo99, hi99 = bootstrap_ci(samples, confidence=0.99)
+    assert lo99 <= lo90 and hi90 <= hi99
+    assert (hi99 - lo99) > (hi90 - lo90)
+
+
+def test_metric_stats_from_samples():
+    stats = MetricStats.from_samples("mean_response_time", [10.0, 12.0, 14.0])
+    assert stats.metric == "mean_response_time"
+    assert stats.count == 3
+    assert stats.mean == pytest.approx(12.0)
+    assert stats.stddev == pytest.approx(2.0)  # ddof=1
+    assert stats.ci_lower <= stats.mean <= stats.ci_upper
+    assert stats.ci_width == pytest.approx(stats.ci_upper - stats.ci_lower)
+    payload = stats.to_dict()
+    assert payload["mean"] == pytest.approx(12.0)
+    assert payload["confidence"] == pytest.approx(0.95)
+
+
+def test_metric_stats_degenerate_counts():
+    empty = MetricStats.from_samples("m", [])
+    assert empty.count == 0
+    assert math.isnan(empty.mean) and math.isnan(empty.stddev)
+    single = MetricStats.from_samples("m", [4.0])
+    assert single.count == 1
+    assert single.mean == 4.0
+    assert single.stddev == 0.0
+    assert (single.ci_lower, single.ci_upper) == (4.0, 4.0)
+
+
+# ---------------------------------------------------------------------------
+# Property: more replicas => tighter intervals, in expectation
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    scale=st.floats(min_value=0.5, max_value=50.0),
+    offset=st.floats(min_value=-100.0, max_value=100.0),
+    draw_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_ci_width_shrinks_in_expectation_with_more_samples(scale, offset, draw_seed):
+    """The 1/sqrt(n) law: averaged over draws, the bootstrap interval of a
+    sample four times as large is decisively narrower."""
+    rng = np.random.default_rng(draw_seed)
+
+    def mean_width(n: int, draws: int = 12) -> float:
+        widths = []
+        for _ in range(draws):
+            samples = offset + scale * rng.standard_normal(n)
+            lower, upper = bootstrap_ci(samples.tolist())
+            widths.append(upper - lower)
+        return sum(widths) / len(widths)
+
+    assert mean_width(32) < mean_width(8)

@@ -1,0 +1,150 @@
+"""Tests of tournament ranking, Pareto frontiers and report determinism."""
+
+from __future__ import annotations
+
+from math import inf, nan
+
+import pytest
+
+import repro.experiments.engine as engine
+from repro.experiments.scenarios import ScenarioSpec, ScenarioVariant, get_scenario
+from repro.stats import (
+    MetricStats,
+    TournamentEntry,
+    pareto_frontier,
+    rank_replicas,
+    run_tournament,
+    tournament_report,
+    tournament_report_from_results,
+)
+
+
+def tiny_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="tournament-test",
+        title="tournament test grid",
+        variants=(
+            ScenarioVariant("EGS/Wm", {"malleability_policy": "EGS"}),
+            ScenarioVariant("FPSMA/Wm", {"malleability_policy": "FPSMA"}),
+        ),
+        base={"workload": "Wm", "approach": "PRA", "placement_policy": "WF"},
+        default_job_count=3,
+    )
+
+
+def entry(label: str, **means: float) -> TournamentEntry:
+    stats = {
+        metric: MetricStats(
+            metric=metric,
+            count=3,
+            mean=mean,
+            stddev=0.0,
+            ci_lower=mean,
+            ci_upper=mean,
+            confidence=0.95,
+        )
+        for metric, mean in means.items()
+    }
+    return TournamentEntry(label=label, seeds=(0, 1, 2), stats=stats, truncated=False)
+
+
+# ---------------------------------------------------------------------------
+# Pareto frontier
+# ---------------------------------------------------------------------------
+
+
+def test_pareto_frontier_keeps_only_non_dominated_entrants():
+    a = entry("a", mean_response_time=1.0, wasted_processor_seconds=5.0, jobs_lost=0.0)
+    b = entry("b", mean_response_time=2.0, wasted_processor_seconds=1.0, jobs_lost=0.0)
+    c = entry("c", mean_response_time=3.0, wasted_processor_seconds=5.0, jobs_lost=0.0)
+    assert pareto_frontier([a, b, c]) == ("a", "b")  # c dominated by a
+
+
+def test_pareto_frontier_keeps_ties():
+    a = entry("a", mean_response_time=1.0, wasted_processor_seconds=1.0, jobs_lost=0.0)
+    b = entry("b", mean_response_time=1.0, wasted_processor_seconds=1.0, jobs_lost=0.0)
+    assert pareto_frontier([a, b]) == ("a", "b")
+
+
+def test_nan_means_rank_last_and_never_dominate():
+    finished = entry(
+        "finished", mean_response_time=9.0, wasted_processor_seconds=9.0, jobs_lost=9.0
+    )
+    empty = entry(
+        "empty", mean_response_time=nan, wasted_processor_seconds=nan, jobs_lost=nan
+    )
+    assert empty.objective("mean_response_time") == inf
+    assert pareto_frontier([finished, empty]) == ("finished",)
+
+
+def test_rank_replicas_requires_entrants():
+    with pytest.raises(ValueError, match="at least one entrant"):
+        rank_replicas({})
+
+
+# ---------------------------------------------------------------------------
+# End-to-end tournaments
+# ---------------------------------------------------------------------------
+
+
+def test_tournament_report_renders_ranks_cis_and_frontier():
+    result = run_tournament(tiny_spec(), seeds=(0, 1, 2))
+    assert result.ranking and set(result.pareto) <= set(result.ranking)
+    report = tournament_report(result)
+    assert "Tournament: tournament-test" in report
+    assert "3 seeds" in report and "95% CI" in report
+    assert "rank" in report and "pareto" in report
+    assert "[" in report and "]" in report  # interval column rendered
+    assert "Pareto frontier over (mean_response_time" in report
+
+
+def test_rankings_are_byte_identical_serial_parallel_and_warm(tmp_path, monkeypatch):
+    """The acceptance check: the report must not depend on the execution
+    schedule, and a repeat tournament must be served from the cache alone."""
+    spec = tiny_spec()
+    serial = tournament_report(
+        run_tournament(spec, seeds=(0, 1), cache=str(tmp_path / "a"))
+    )
+    parallel = tournament_report(
+        run_tournament(spec, seeds=(0, 1), jobs=2, cache=str(tmp_path / "b"))
+    )
+    assert serial == parallel
+
+    def explode(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("run_experiment called on the warm cache path")
+
+    monkeypatch.setattr(engine, "run_experiment", explode)
+    warm = tournament_report(
+        run_tournament(spec, seeds=(0, 1), cache=str(tmp_path / "a"))
+    )
+    assert warm == serial
+
+
+def test_registered_tournament_scenario_reports_a_ranked_table():
+    spec = get_scenario("tournament")
+    assert not spec.is_static
+    labels = [label for label, _ in spec.expand(job_count=2)]
+    # The full grid: 2 policies x 2 load factors x 2 fault models x 3 seeds.
+    assert len(labels) == 24
+    assert len(set(labels)) == 24  # seed suffixes keep replica labels distinct
+
+
+def test_tournament_report_from_results_groups_replicas():
+    from repro.stats import replicate
+
+    spec = tiny_spec()
+    results = {}
+    for seed in (0, 1):
+        for label, replica in replicate(spec, seeds=(seed,)).items():
+            results[f"{label}@seed{seed}"] = replica.results[0]
+    report = tournament_report_from_results(results, title="grouped")
+    assert "Tournament: grouped (2 entrants, 2 seeds" in report
+
+
+def test_truncated_replicas_are_flagged_in_the_report():
+    result = run_tournament(
+        tiny_spec(), seeds=(0,), overrides={"time_limit": 50.0}
+    )
+    report = tournament_report(result)
+    assert result.truncated_entrants
+    assert "WARNING: truncated replicas" in report

@@ -61,6 +61,6 @@ with :func:`repro.policies.register`, and every configuration surface
 ``examples/custom_policy.py``.
 """
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = ["__version__"]

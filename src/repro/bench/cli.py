@@ -45,7 +45,8 @@ from repro.bench.baseline import (
 from repro.bench.runner import (
     BenchRecord,
     benchable_scenarios,
-    profile_bench,
+    profile_bench_data,
+    profile_report,
     records_report,
     run_bench,
 )
@@ -136,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
         "measurements)",
     )
     parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="with --profile: also write the hotspot data as JSON to FILE "
+        "(a list with one entry per profiled scenario; '-' for stdout)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list benchable scenarios and exit"
     )
     return parser
@@ -179,6 +187,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.baseline_dir if args.baseline_dir is not None else default_baseline_dir()
     )
 
+    if args.profile_out is not None and args.profile is None:
+        parser.error("--profile-out requires --profile")
+        return 2  # pragma: no cover - parser.error raises
+
     if args.profile is not None:
         if args.check or args.update:
             parser.error(
@@ -189,16 +201,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.profile < 1:
             parser.error("--profile takes the number of hotspots to print (>= 1)")
             return 2  # pragma: no cover - parser.error raises
+        profiles: List[dict] = []
         for name in _resolve_scenarios(args.scenarios):
             try:
-                report = profile_bench(
+                data = profile_bench_data(
                     name, job_count=job_count, seed=seed, top=args.profile
                 )
             except ValueError as error:
                 parser.error(str(error))
                 return 2  # pragma: no cover - parser.error raises
-            print(report)
+            profiles.append(data)
+            print(profile_report(data))
             print()
+        if args.profile_out is not None:
+            import json
+
+            payload = json.dumps(profiles, indent=2, sort_keys=True)
+            if args.profile_out == "-":
+                print(payload)
+            else:
+                with open(args.profile_out, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+                print(f"wrote profile data for {len(profiles)} scenario(s) to {args.profile_out}")
         return 0
 
     records: List[BenchRecord] = []

@@ -224,24 +224,24 @@ def run_bench(
     )
 
 
-def profile_bench(
+def profile_bench_data(
     scenario: str,
     *,
     job_count: Optional[int] = None,
     seed: int = 0,
     top: int = 20,
-) -> str:
-    """Run *scenario* under :mod:`cProfile` and return its top-*top* hotspots.
+) -> Dict[str, Any]:
+    """Run *scenario* under :mod:`cProfile`; returns a JSON-shaped summary.
 
     A diagnostic, not a measurement: the profiler inflates wall-clock by a
     large constant factor, so profiled runs are never written as records or
-    gated against baselines.  Functions are ranked by total time spent in
-    their own frames (``tottime``) — the quantity an optimisation can
-    actually attack — and the report keeps file names qualified enough to
-    tell kernel frames from domain frames.
+    gated against baselines.  The ``hotspots`` list ranks functions by total
+    time spent in their own frames (``tottime``) — the quantity an
+    optimisation can actually attack.  :func:`profile_report` renders the
+    same data as text; ``repro-bench --profile-out`` writes it as JSON for
+    machine consumption (regression dashboards, flamegraph tooling).
     """
     import cProfile
-    import io
     import pstats
 
     if top < 1:
@@ -264,15 +264,68 @@ def profile_bench(
             )
         run_experiment(config, workload=workload)
         profiler.disable()
-    stream = io.StringIO()
-    stats = pstats.Stats(profiler, stream=stream)
-    stats.sort_stats("tottime").print_stats(top)
-    header = (
-        f"profile: {spec.name} ({len(pairs)} runs, "
-        f"jobs={job_count if job_count is not None else spec.default_job_count}, "
-        f"seed={seed}, queue={resolve_queue_name()}) — top {top} by own time"
+    stats = pstats.Stats(profiler)
+    total_calls = int(getattr(stats, "total_calls", 0))
+    total_time = float(getattr(stats, "total_tt", 0.0))
+    hotspots: List[Dict[str, Any]] = []
+    # stats.stats maps (file, line, function) -> (cc, nc, tottime, cumtime, callers).
+    ranked = sorted(
+        stats.stats.items(), key=lambda item: item[1][2], reverse=True  # type: ignore[attr-defined]
     )
-    return header + "\n" + stream.getvalue().rstrip()
+    for (filename, line, function), (cc, nc, tottime, cumtime, _callers) in ranked[:top]:
+        hotspots.append(
+            {
+                "function": function,
+                "file": filename,
+                "line": line,
+                "calls": int(nc),
+                "primitive_calls": int(cc),
+                "tottime": tottime,
+                "cumtime": cumtime,
+            }
+        )
+    return {
+        "scenario": spec.name,
+        "runs": len(pairs),
+        "job_count": job_count if job_count is not None else spec.default_job_count,
+        "seed": seed,
+        "queue": resolve_queue_name(),
+        "total_calls": total_calls,
+        "total_time": total_time,
+        "top": top,
+        "hotspots": hotspots,
+    }
+
+
+def profile_report(data: Dict[str, Any]) -> str:
+    """Render one :func:`profile_bench_data` summary as a text table."""
+    lines = [
+        f"profile: {data['scenario']} ({data['runs']} runs, "
+        f"jobs={data['job_count']}, seed={data['seed']}, "
+        f"queue={data['queue']}) — top {data['top']} by own time",
+        f"  {data['total_calls']} calls in {data['total_time']:.3f}s",
+        f"  {'tottime':>9} {'cumtime':>9} {'calls':>9}  function",
+    ]
+    for spot in data["hotspots"]:
+        where = f"{spot['function']}  ({spot['file']}:{spot['line']})"
+        lines.append(
+            f"  {spot['tottime']:>9.4f} {spot['cumtime']:>9.4f} "
+            f"{spot['calls']:>9}  {where}"
+        )
+    return "\n".join(lines)
+
+
+def profile_bench(
+    scenario: str,
+    *,
+    job_count: Optional[int] = None,
+    seed: int = 0,
+    top: int = 20,
+) -> str:
+    """Profile *scenario* and return the text report (see :func:`profile_bench_data`)."""
+    return profile_report(
+        profile_bench_data(scenario, job_count=job_count, seed=seed, top=top)
+    )
 
 
 def load_record(path: Union[str, Path]) -> BenchRecord:

@@ -74,7 +74,17 @@ number of concurrent clients (identical configs deduplicate and coalesce)::
     repro-cli client submit --workload Wmr --seeds 0 1 2 3
     repro-cli client shutdown
 
-Runs that hit the simulation time limit before every job finished print a
+Observability: write a structured trace of any run (every kernel event,
+queue snapshot and scheduler hook), then inspect it; ``--quiet`` and
+``$REPRO_LOG_LEVEL`` control the stderr log level::
+
+    repro-cli run figure7 --trace-out traces/
+    repro-cli trace summary traces/figure7-*.jsonl
+    repro-cli trace timeline traces/figure7-*.jsonl
+    repro-cli trace diff traces/a.jsonl traces/b.jsonl
+    repro-cli client metrics
+
+Runs that hit the simulation time limit before every job finished log a
 WARNING to stderr and carry ``"truncated": true`` in their result JSON.
 """
 
@@ -242,17 +252,26 @@ def _fault_reference(args: argparse.Namespace) -> Optional[str]:
 
 
 def _warn_truncated(results, *, stream=None) -> None:
-    """Print a visible warning for every run that hit the time limit."""
-    stream = stream if stream is not None else sys.stderr
+    """Warn visibly for every run that hit the time limit.
+
+    Routed through the :mod:`repro.obs.log` logger (so ``--quiet`` and
+    ``$REPRO_LOG_LEVEL`` apply); an explicit *stream* bypasses logging and
+    prints directly, which tests use to capture the message.
+    """
     truncated = [label for label, result in results.items() if result.truncated]
     if not truncated:
         return
-    print(
-        f"WARNING: {len(truncated)} run(s) hit the simulation time limit before "
+    message = (
+        f"{len(truncated)} run(s) hit the simulation time limit before "
         f"every job finished; their metrics are partial (truncated=true in the "
-        f"result JSON): {', '.join(truncated)}",
-        file=stream,
+        f"result JSON): {', '.join(truncated)}"
     )
+    if stream is not None:
+        print(f"WARNING: {message}", file=stream)
+        return
+    from repro.obs.log import get_logger
+
+    get_logger("cli").warning(message)
 
 
 def _trace_reference(args: argparse.Namespace) -> Optional[str]:
@@ -414,6 +433,21 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help=f"result cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()})",
     )
+    _add_trace_out_option(parser)
+
+
+def _add_trace_out_option(parser: argparse.ArgumentParser) -> None:
+    """The structured-tracing activation flag (see :mod:`repro.obs.trace`)."""
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        metavar="FILE_OR_DIR",
+        help="write a structured trace of every run (kernel events, queue "
+        "snapshots, scheduler hooks) to this .jsonl/.gz file or directory; "
+        "$REPRO_TRACE sets a default target. Tracing participates in the "
+        "cache key, so traced runs never alias untraced cached results",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -424,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
         "in Multicluster Systems' (CLUSTER 2007).",
     )
     parser.add_argument("--output", help="write the report to this file instead of stdout")
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress WARNING/INFO log output (errors still print); "
+        "$REPRO_LOG_LEVEL sets an explicit level instead",
+    )
     parser.add_argument(
         "--policy-module",
         action="append",
@@ -477,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_parser(subparsers)
     add_client_parser(subparsers)
 
+    from repro.obs.cli import add_trace_parser
+
+    add_trace_parser(subparsers)
+
     custom = subparsers.add_parser(
         "custom", help="run a single custom configuration outside any scenario"
     )
@@ -521,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     custom.add_argument("--csv", action="store_true", help="emit per-job CSV instead of a summary")
     _add_trace_options(custom)
     _add_fault_options(custom)
+    _add_trace_out_option(custom)
 
     tournament = subparsers.add_parser(
         "tournament",
@@ -710,6 +755,8 @@ def _overrides_from(args: argparse.Namespace) -> Optional[dict]:
     fault = _fault_reference(args)
     if fault is not None:
         overrides["fault_model"] = fault
+    if getattr(args, "trace_out", None) is not None:
+        overrides["trace"] = args.trace_out
     return overrides or None
 
 
@@ -788,6 +835,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    from repro.obs.log import setup_logging
+
+    setup_logging(quiet=args.quiet)
+
     if args.policy_module:
         try:
             _import_policy_modules(args.policy_module)
@@ -799,6 +850,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.service.cli import cmd_client, cmd_serve
 
         return cmd_serve(args) if args.command == "serve" else cmd_client(args)
+
+    if args.command == "trace":
+        from repro.obs.cli import cmd_trace
+
+        return cmd_trace(args)
 
     if args.command == "list-scenarios":
         report = _list_scenarios_report()
@@ -1024,6 +1080,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             extra: dict = {}
             if args.time_limit is not None:
                 extra["time_limit"] = float(args.time_limit)
+            if args.trace_out is not None:
+                extra["trace"] = args.trace_out
             # The validated builder is the single override surface: a bad
             # field or reference fails as an argument error, not a traceback.
             config = ExperimentConfig(name="cli-custom").with_overrides(

@@ -203,14 +203,24 @@ def run_configs(
         raise ValueError("jobs must be at least 1")
     store = cache if isinstance(cache, ResultCache) or cache is None else ResultCache(cache)
 
+    # Process-global engine counters (see ``repro.obs.metrics``): how many
+    # configurations this process ran versus served from cache.  The store's
+    # own registry counts file-level hits/misses per store instance.
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
     results: List[Optional[ExperimentResult]] = [None] * len(configs)
     misses: List[int] = []
     for index, config in enumerate(configs):
         cached = store.load(config) if store is not None and not refresh else None
         if cached is not None:
+            registry.counter("engine.cache.hits").inc()
             results[index] = cached
         else:
+            registry.counter("engine.cache.misses").inc()
             misses.append(index)
+    registry.counter("engine.configs").inc(len(configs))
+    registry.counter("engine.runs.executed").inc(len(misses))
 
     if misses and jobs > 1:
         worker_count = min(jobs, len(misses))

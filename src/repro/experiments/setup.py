@@ -12,6 +12,7 @@ collected :class:`~repro.metrics.collector.ExperimentMetrics`.
 from __future__ import annotations
 
 import gc
+import os
 
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional
@@ -169,6 +170,12 @@ class ExperimentConfig:
     reconfiguration_cost: Optional[float] = None
     fault_model: Optional[str] = None
     time_limit: float = DEFAULT_TIME_LIMIT
+    #: Structured-trace target: a trace file (``.jsonl``/``.gz``) or a
+    #: directory per-run files are created under; ``None`` disables tracing
+    #: (unless ``$REPRO_TRACE`` activates it process-wide).  Participates in
+    #: :meth:`to_dict` — and therefore the cache key — like every field, so
+    #: a traced run is never served from an untraced run's cache entry.
+    trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Validate and canonicalise the policy references now, not when the
@@ -428,46 +435,92 @@ def run_experiment(
     """
     streams = RandomStreams(seed=config.seed)
     env = Environment()
-    if workload is None:
-        workload = build_workload(config, streams)
-    multicluster, scheduler = build_system(config, env, streams)
-    injector = None
-    if config.fault_model is not None:
-        from repro.faults.injector import FaultInjector
+    tracer = None
+    trace_target = config.trace or os.environ.get("REPRO_TRACE")
+    if trace_target:
+        # Attached before the system is built so construction-time
+        # scheduling (KIS poll, background generators) is traced too.
+        from repro.obs.trace import Tracer, open_sink, resolve_trace_path
 
-        injector = FaultInjector(env, scheduler, config.fault_model, streams)
-    submitter = WorkloadSubmitter(
-        env, scheduler, workload, registry=_profile_registry(config)
-    )
-
-    # Run until every submitted job has finished (checking periodically,
-    # because the information-service poll and the background generators keep
-    # producing events forever), bounded by the configured time limit.
-    #
-    # The cyclic garbage collector is paused for the duration of the run: the
-    # event loop allocates heavily (events, schedule entries, generator
-    # frames) but almost everything dies by reference counting, so the
-    # periodic generation-0 scans only cost time.  The pause is skipped when
-    # the caller already disabled collection, and collection is restored (and
-    # the run's survivors swept once) in all exit paths.
-    check_interval = 300.0
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
+        tracer = Tracer(
+            open_sink(resolve_trace_path(trace_target, config)),
+            meta={
+                "label": config.label,
+                "seed": config.seed,
+                "queue": env.queue_name,
+                "workload": config.workload,
+                "job_count": config.job_count,
+            },
+        )
+        env.set_tracer(tracer)
     try:
-        env.run(until=min(config.time_limit, max(workload.duration, check_interval)))
-        while not (submitter.all_submitted.triggered and scheduler.all_done):
-            if env.now >= config.time_limit:
-                break
-            env.run(until=min(config.time_limit, env.now + check_interval))
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-            gc.collect(generation=0)
+        if workload is None:
+            workload = build_workload(config, streams)
+        multicluster, scheduler = build_system(config, env, streams)
+        injector = None
+        if config.fault_model is not None:
+            from repro.faults.injector import FaultInjector
 
-    metrics = ExperimentMetrics.from_run(
-        scheduler, multicluster, label=config.label, faults=injector
-    )
+            injector = FaultInjector(env, scheduler, config.fault_model, streams)
+        submitter = WorkloadSubmitter(
+            env, scheduler, workload, registry=_profile_registry(config)
+        )
+        if tracer is not None:
+            scheduler.hooks.set_tracer(tracer)
+            tracer.record(
+                "run_start",
+                label=config.label,
+                seed=config.seed,
+                queue=env.queue_name,
+                time_limit=config.time_limit,
+            )
+
+        # Run until every submitted job has finished (checking periodically,
+        # because the information-service poll and the background generators
+        # keep producing events forever), bounded by the configured time
+        # limit.
+        #
+        # The cyclic garbage collector is paused for the duration of the run:
+        # the event loop allocates heavily (events, schedule entries,
+        # generator frames) but almost everything dies by reference counting,
+        # so the periodic generation-0 scans only cost time.  The pause is
+        # skipped when the caller already disabled collection, and collection
+        # is restored (and the run's survivors swept once) in all exit paths.
+        check_interval = 300.0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            env.run(until=min(config.time_limit, max(workload.duration, check_interval)))
+            while not (submitter.all_submitted.triggered and scheduler.all_done):
+                if env.now >= config.time_limit:
+                    break
+                env.run(until=min(config.time_limit, env.now + check_interval))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect(generation=0)
+
+        metrics = ExperimentMetrics.from_run(
+            scheduler, multicluster, label=config.label, faults=injector
+        )
+        if tracer is not None:
+            import hashlib
+            import json
+
+            tracer.record(
+                "run_end",
+                t=env.now,
+                events=env.processed_events,
+                all_done=scheduler.all_done,
+                digest=hashlib.sha256(
+                    json.dumps(metrics.to_dict(), sort_keys=True).encode("utf-8")
+                ).hexdigest(),
+            )
+    finally:
+        if tracer is not None:
+            env.set_tracer(None)
+            tracer.close()
     return ExperimentResult(
         config=config,
         metrics=metrics,

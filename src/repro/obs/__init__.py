@@ -1,0 +1,54 @@
+"""Observability: structured tracing, a metrics registry and logging.
+
+Three pillars, all process-local and dependency-free:
+
+* :mod:`repro.obs.trace` — schema-versioned trace records from the sim
+  kernel, the scheduler hook dispatcher, the engine and the daemon, written
+  to JSONL (or gzip-compressed JSONL) sinks.  Disabled by default and
+  provably free when disabled: the kernel's hot run loop is selected by one
+  ``None`` check per :meth:`~repro.sim.core.Environment.run` call.
+* :mod:`repro.obs.metrics` — counters, gauges and histograms behind a
+  :class:`~repro.obs.metrics.MetricsRegistry`; the result store and the
+  experiment daemon keep per-instance registries, the engine counts into the
+  process-global one, and the daemon exposes snapshots through its
+  ``metrics`` operation.
+* :mod:`repro.obs.log` — one logging setup (``repro.*`` loggers) with a
+  ``--quiet`` / ``$REPRO_LOG_LEVEL`` knob, replacing ad-hoc stderr prints.
+
+Introspection tooling lives in :mod:`repro.obs.cli` (``repro-cli trace
+summary|timeline|diff|validate``).
+"""
+
+from repro.obs.log import LOG_LEVEL_ENV, get_logger, setup_logging
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from repro.obs.trace import (
+    TRACE_ENV,
+    TRACE_SCHEMA,
+    JsonlSink,
+    NullSink,
+    Tracer,
+    open_sink,
+    read_trace,
+    resolve_trace_path,
+    validate_trace,
+)
+
+__all__ = [
+    "LOG_LEVEL_ENV",
+    "get_logger",
+    "setup_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "TRACE_ENV",
+    "TRACE_SCHEMA",
+    "JsonlSink",
+    "NullSink",
+    "Tracer",
+    "open_sink",
+    "read_trace",
+    "resolve_trace_path",
+    "validate_trace",
+]

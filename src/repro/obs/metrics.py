@@ -1,0 +1,185 @@
+"""Process-local metrics: counters, gauges and histograms in a registry.
+
+The registry is deliberately minimal — plain Python objects, no background
+threads, no export protocol — because its consumers are in-process: the
+result store and the experiment daemon keep *per-instance* registries (their
+statistics describe one store object or one daemon, exactly like the ad-hoc
+integer counters they replace), the sweep engine counts into the
+process-global registry, and the daemon's ``metrics`` operation serialises
+:meth:`MetricsRegistry.snapshot` onto the wire.
+
+Shipping snapshots to a shared store for multi-daemon deployments is a
+ROADMAP follow-up; the snapshot dict is the stable surface that work builds
+on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (negative increments are a bug, hence rejected)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, in-flight counts)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Count/sum/min/max plus power-of-two buckets over observed values.
+
+    The buckets answer "how are the op latencies distributed" without
+    configuration: bucket *i* counts observations in ``[2^(i-1), 2^i)``
+    scaled by :attr:`base` (observations below ``base`` land in bucket 0).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets", "base")
+
+    #: Up to this many power-of-two buckets; the last one is unbounded.
+    BUCKETS = 24
+
+    def __init__(self, base: float = 0.001) -> None:
+        if base <= 0:
+            raise ValueError("base must be positive")
+        self.base = base
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * self.BUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = 0
+        threshold = self.base
+        while value >= threshold and index < self.BUCKETS - 1:
+            threshold *= 2.0
+            index += 1
+        self.buckets[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        # Trailing empty buckets are elided: most histograms observe a
+        # narrow range and the snapshot travels over the wire.
+        populated = len(self.buckets)
+        while populated and not self.buckets[populated - 1]:
+            populated -= 1
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bucket_base": self.base,
+            "buckets": self.buckets[:populated],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and snapshotted as one dict.
+
+    Get-or-create is type-checked: asking for ``counter("x")`` after
+    ``gauge("x")`` raises instead of silently returning the wrong kind.
+    Creation takes a lock so registries are safe to share across threads
+    (the daemon's store-io thread and event loop both count); the metric
+    operations themselves are single-opcode-ish and rely on the GIL, the
+    same contract the plain integer counters they replaced had.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls: type, **kwargs: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(**kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, *, base: float = 0.001) -> Histogram:
+        return self._get_or_create(name, Histogram, base=base)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able ``{name: value-or-dict}`` of every metric, sorted."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests; never called by production paths)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-global registry (engine counters, anything without a natural
+#: owning instance).
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return _global_registry

@@ -256,6 +256,10 @@ class HookDispatcher:
 
     def __init__(self, scheduler: "KoalaScheduler") -> None:
         self.scheduler = scheduler
+        #: Optional :class:`repro.obs.trace.Tracer`; the dispatcher is the
+        #: single choke point every typed scheduler event flows through, so
+        #: one ``None`` check here traces all of them.
+        self._tracer = None
         self._subscribers: List[Any] = []
         #: Event type -> tuple of bound hook methods, rebuilt on every
         #: (un)subscription.  Inherited no-op defaults are filtered out at
@@ -301,8 +305,15 @@ class HookDispatcher:
             dispatch[event_type] = tuple(methods)
         self._dispatch = dispatch
 
+    def set_tracer(self, tracer) -> None:
+        """Attach (or with ``None`` detach) a structured-event tracer."""
+        self._tracer = tracer
+
     def emit(self, event: SchedulerEvent) -> None:
         """Deliver *event* to every subscriber implementing its hook."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record_hook(event)
         scheduler = self.scheduler
         for method in self._dispatch[type(event)]:
             method(event, scheduler)

@@ -15,6 +15,7 @@ Start a daemon on the default per-user socket with four workers and a
 Talk to it::
 
     repro-cli client status
+    repro-cli client metrics
     repro-cli client run-and-wait --workload Wm --policy EGS --job-count 40
     repro-cli client submit --workload Wmr --policy FPSMA --seeds 0 1 2 3
     repro-cli client list --format detailed
@@ -149,6 +150,9 @@ def add_client_parser(subparsers: Any) -> argparse.ArgumentParser:
     )
     ops = client.add_subparsers(dest="client_op", required=True, metavar="OPERATION")
     ops.add_parser("status", help="daemon, pool and store statistics")
+    ops.add_parser(
+        "metrics", help="full metrics snapshots (counters, latency histograms)"
+    )
     ops.add_parser("list", help="every job the daemon knows about")
     get = ops.add_parser("get", help="look one result up by key")
     get.add_argument("key", help="content key (as printed by submit/list)")
@@ -175,9 +179,11 @@ def add_client_parser(subparsers: Any) -> argparse.ArgumentParser:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the daemon until shutdown; returns a process exit code."""
     from repro.experiments.engine import default_cache_dir
+    from repro.obs.log import setup_logging
     from repro.service.daemon import ExperimentService
     from repro.service.store import ResultStore
 
+    setup_logging(quiet=getattr(args, "quiet", False))
     try:
         store = ResultStore(
             args.store_dir if args.store_dir else default_cache_dir(),
@@ -223,6 +229,8 @@ def cmd_client(args: argparse.Namespace) -> int:
         with _client_from(args) as client:
             if args.client_op == "status":
                 response: Any = client.status()
+            elif args.client_op == "metrics":
+                response = client.metrics()
             elif args.client_op == "list":
                 response = client.list(response_format=args.format)
             elif args.client_op == "get":

@@ -246,6 +246,10 @@ class ServiceClient:
         """Daemon health: pool, job-table and store statistics."""
         return self.request("status")
 
+    def metrics(self) -> Dict[str, Any]:
+        """Full metrics snapshots (daemon, store and process registries)."""
+        return self.request("metrics")
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the daemon to stop (responds before stopping)."""
         response = self.request("shutdown")

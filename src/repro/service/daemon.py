@@ -48,8 +48,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 import repro
 from repro.experiments.engine import _execute_record, config_key
 from repro.experiments.setup import ExperimentConfig
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.service import protocol
 from repro.service.store import ResultStore
+
+_log = get_logger("service")
 
 #: Byte limit per protocol line (requests *and* responses): generous enough
 #: for a detailed 300-job record, small enough to bound a hostile client.
@@ -200,6 +204,11 @@ class ExperimentService:
         An :class:`~concurrent.futures.Executor` to run *runner* on.
         ``None`` creates a :class:`~concurrent.futures.ProcessPoolExecutor`
         of *workers* processes on startup.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer` recording daemon-side
+        ``span`` records (one per dispatched operation, with wall-clock
+        milliseconds — daemon traces are operational, not deterministic)
+        and ``cache`` records for every submit-path store consultation.
     """
 
     def __init__(
@@ -209,6 +218,7 @@ class ExperimentService:
         workers: int = 2,
         runner: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
         pool: Optional[Executor] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -218,10 +228,17 @@ class ExperimentService:
         self._pool: Optional[Executor] = pool
         self._owns_pool = pool is None
         self.jobs: Dict[str, ServiceJob] = {}
-        self.executions = 0
-        self.coalesced = 0
-        self.store_served = 0
-        self.requests = 0
+        #: Per-daemon metrics registry; the historical attribute names
+        #: (``executions``, ``coalesced``, ``store_served``, ``requests``)
+        #: stay available as read-only int properties, and ``status`` keeps
+        #: reporting them as the same wire fields.  The ``metrics`` op
+        #: exposes the full snapshot (plus per-op latency histograms).
+        self.metrics = MetricsRegistry()
+        self._executions = self.metrics.counter("service.executions")
+        self._coalesced = self.metrics.counter("service.coalesced")
+        self._store_served = self.metrics.counter("service.store_served")
+        self._requests = self.metrics.counter("service.requests")
+        self.tracer = tracer
         self.started_at: Optional[float] = None
         self.address: Optional[str] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -229,6 +246,28 @@ class ExperimentService:
         self._stop: Optional[asyncio.Event] = None
         self._slots: Optional[asyncio.Semaphore] = None
         self._store_io: Optional[ThreadPoolExecutor] = None
+
+    # -- counter back-compat ---------------------------------------------------
+
+    @property
+    def executions(self) -> int:
+        """Worker runs this daemon actually executed."""
+        return self._executions.value
+
+    @property
+    def coalesced(self) -> int:
+        """Submissions attached to an already-active run of the same config."""
+        return self._coalesced.value
+
+    @property
+    def store_served(self) -> int:
+        """Submissions answered straight from the result store."""
+        return self._store_served.value
+
+    @property
+    def requests(self) -> int:
+        """Protocol requests dispatched (including invalid ones)."""
+        return self._requests.value
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -270,6 +309,7 @@ class ExperimentService:
             )
             self._socket_path = path
             self.address = str(path)
+        _log.info("daemon listening on %s (%d workers)", self.address, self.workers)
         return self.address
 
     async def serve_until_shutdown(self) -> None:
@@ -387,7 +427,7 @@ class ExperimentService:
 
     async def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Route one request to its operation handler (never raises)."""
-        self.requests += 1
+        self._requests.inc()
         op = request.get("op")
         handler = {
             "submit": self._op_submit,
@@ -398,9 +438,11 @@ class ExperimentService:
             "run_and_wait": self._op_run_and_wait,
             "checkpointed": self._op_checkpointed,
             "status": self._op_status,
+            "metrics": self._op_metrics,
             "shutdown": self._op_shutdown,
         }.get(op)
         if handler is None:
+            self.metrics.counter("service.unknown_ops").inc()
             return self._echo_id(
                 request,
                 protocol.error_response(
@@ -409,6 +451,7 @@ class ExperimentService:
                     f"unknown operation {op!r}; expected one of {protocol.OPERATIONS}",
                 ),
             )
+        began = time.monotonic()
         try:
             response = await handler(request)
         except asyncio.CancelledError:
@@ -416,8 +459,18 @@ class ExperimentService:
         except _BadRequest as error:  # malformed request field: client error
             response = protocol.error_response(op, "bad_request", str(error))
         except Exception as error:  # a handler bug must not kill the daemon
+            _log.error("operation %s failed: %s: %s", op, type(error).__name__, error)
             response = protocol.error_response(
                 op, "internal", f"{type(error).__name__}: {error}"
+            )
+        elapsed = time.monotonic() - began
+        # Wall-clock op latency: includes any await on workers/store, which
+        # is exactly what a client of this op experienced.
+        self.metrics.histogram(f"service.op.{op}.seconds").observe(elapsed)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(
+                "span", op=str(op), ms=elapsed * 1000.0, ok=bool(response.get("ok"))
             )
         return self._echo_id(request, response)
 
@@ -472,7 +525,7 @@ class ExperimentService:
         """Resolve *key* against the in-memory job table, if it can be."""
         job = self.jobs.get(key)
         if job is not None and job.state in ACTIVE_STATES:
-            self.coalesced += 1
+            self._coalesced.inc()
             return job, "attached"
         if job is not None and job.state == DONE:
             return job, "session"
@@ -499,8 +552,11 @@ class ExperimentService:
         hit = self._table_lookup(key)
         if hit is not None:
             return hit
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("cache", op="submit", key=key, hit=record is not None)
         if record is not None:
-            self.store_served += 1
+            self._store_served.inc()
             job = ServiceJob(
                 key=key,
                 config=config,
@@ -532,13 +588,17 @@ class ExperimentService:
                     raise asyncio.CancelledError
                 job.state = RUNNING
                 job.started_at = time.time()
-                self.executions += 1
+                self._executions.inc()
+                _log.info("job %s (%s) started", job.key[:12], job.name)
                 record = await asyncio.get_running_loop().run_in_executor(
                     self._pool, self._runner, job.config
                 )
             job.finished_at = time.time()
             job.record = record
             job.state = DONE
+            self.metrics.histogram("service.job.seconds", base=0.01).observe(
+                job.wall_time or 0.0
+            )
             await self._store_call(self.store.put, job.key, record)
         except asyncio.CancelledError:
             job.finished_at = time.time()
@@ -548,6 +608,7 @@ class ExperimentService:
             job.finished_at = time.time()
             job.state = FAILED
             job.error = f"{type(error).__name__}: {error}"
+            _log.warning("job %s (%s) failed: %s", job.key[:12], job.name, job.error)
         finally:
             job.done.set()
 
@@ -732,7 +793,7 @@ class ExperimentService:
         assert self._slots is not None and self._pool is not None
         directory = self.store.directory / "checkpoints" / key
         async with self._slots:
-            self.executions += 1
+            self._executions.inc()
             payload = await asyncio.get_running_loop().run_in_executor(
                 self._pool, _execute_checkpointed, config, every, str(directory)
             )
@@ -764,6 +825,22 @@ class ExperimentService:
             store=(await self._store_call(self.store.stats)).to_dict(),
         )
 
+    async def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Full metrics snapshots: daemon, store and process registries.
+
+        ``service`` holds this daemon's counters and per-operation latency
+        histograms, ``store`` the result store's hit/miss/eviction counters,
+        ``process`` the process-global registry (engine counters, when the
+        daemon process also ran sweeps in-process).
+        """
+        return protocol.ok_response(
+            "metrics",
+            service=self.metrics.snapshot(),
+            store=self.store.metrics.snapshot(),
+            process=get_registry().snapshot(),
+        )
+
     async def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _log.info("shutdown requested")
         self.request_shutdown()
         return protocol.ok_response("shutdown", stopping=True)

@@ -20,6 +20,8 @@ Requests
 ``run_and_wait``  ``config`` (+ optional ``timeout`` seconds): submit, then
                 respond only when the result is ready.
 ``status``      Pool, queue and store statistics.
+``metrics``     Full metrics snapshots: daemon counters and per-operation
+                latency histograms, store counters, process registry.
 ``shutdown``    Stop the daemon after responding.
 =============== ==========================================================
 
@@ -56,6 +58,7 @@ OPERATIONS = (
     "run_and_wait",
     "checkpointed",
     "status",
+    "metrics",
     "shutdown",
 )
 

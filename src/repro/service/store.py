@@ -177,15 +177,50 @@ class ResultStore:
         *,
         budget_bytes: Union[str, int, None] = None,
     ) -> None:
+        from repro.obs.metrics import MetricsRegistry
+
         self.directory = Path(directory)
         if budget_bytes is None:
             budget_bytes = os.environ.get(STORE_BUDGET_ENV) or None
         self.budget_bytes = parse_size(budget_bytes)
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
-        self.puts = 0
+        #: Per-instance metrics registry (see :mod:`repro.obs.metrics`): the
+        #: counters describe this store *object*, matching the pre-registry
+        #: plain-int semantics, and the daemon's ``metrics`` op exposes the
+        #: whole snapshot.  The historical attribute names (``store.hits``
+        #: etc.) remain available as read-only int properties.
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("store.hits")
+        self._misses = self.metrics.counter("store.misses")
+        self._invalidations = self.metrics.counter("store.invalidations")
+        self._evictions = self.metrics.counter("store.evictions")
+        self._puts = self.metrics.counter("store.puts")
+
+    # -- counter back-compat ---------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Valid records returned by :meth:`get` (this instance)."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Lookups that returned ``None`` (this instance)."""
+        return self._misses.value
+
+    @property
+    def invalidations(self) -> int:
+        """Misses caused by corrupt or schema-incompatible files."""
+        return self._invalidations.value
+
+    @property
+    def evictions(self) -> int:
+        """Records deleted by the LRU budget enforcement."""
+        return self._evictions.value
+
+    @property
+    def puts(self) -> int:
+        """Records written by :meth:`put` (this instance)."""
+        return self._puts.value
 
     # -- paths ---------------------------------------------------------------
 
@@ -223,13 +258,13 @@ class ResultStore:
             with self._lock(shared=True):
                 text = path.read_text(encoding="utf-8")
         except OSError:
-            self.misses += 1
+            self._misses.inc()
             return None
         try:
             envelope = json.loads(text)
         except ValueError:
-            self.misses += 1
-            self.invalidations += 1
+            self._misses.inc()
+            self._invalidations.inc()
             return None
         if (
             not isinstance(envelope, dict)
@@ -238,14 +273,14 @@ class ResultStore:
         ):
             # Written by another schema generation (or not by us at all):
             # invisible, and rewritten in place by the next put.
-            self.misses += 1
-            self.invalidations += 1
+            self._misses.inc()
+            self._invalidations.inc()
             return None
         try:
             os.utime(path)  # LRU bookkeeping: this record was just used
         except OSError:
             pass
-        self.hits += 1
+        self._hits.inc()
         return envelope["record"]
 
     def contains(self, key: str) -> bool:
@@ -285,7 +320,7 @@ class ResultStore:
             tmp = path.with_name(path.name + ".tmp")
             tmp.write_text(payload, encoding="utf-8")
             os.replace(tmp, path)
-            self.puts += 1
+            self._puts.inc()
             if self.budget_bytes is not None:
                 self._evict_locked(keep=path)
         return path
@@ -341,7 +376,7 @@ class ResultStore:
                 continue
             total -= stat.st_size
             evicted += 1
-        self.evictions += evicted
+        self._evictions.inc(evicted)
         return evicted
 
     # -- stats ---------------------------------------------------------------

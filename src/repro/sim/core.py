@@ -100,6 +100,10 @@ class Environment:
         #: Free list of recycled plain-sleep timeouts (see module docstring).
         self._timeout_pool: list[Timeout] = []
         self._events_processed: int = 0
+        #: Optional :class:`repro.obs.trace.Tracer`.  ``None`` (the default)
+        #: costs exactly one attribute check per :meth:`run` call — the
+        #: untraced loop below is byte-identical to the pre-tracing one.
+        self._tracer = None
 
     # -- basic accessors -------------------------------------------------
 
@@ -254,6 +258,37 @@ class Environment:
             "timeout_pool": len(self._timeout_pool),
         }
 
+    def set_tracer(self, tracer) -> None:
+        """Attach (or with ``None`` detach) a structured-event tracer.
+
+        With a tracer attached, every schedule emits a ``sched`` record
+        (via a wrapped ``_push``, so the disabled path keeps the plain
+        bound method) and :meth:`run` switches to the traced loop, which
+        emits an ``ev`` record per fired event and periodic ``queue``
+        snapshots.  Trace records carry simulated time only — never
+        wall-clock — so same-seed runs produce byte-identical traces.
+        """
+        self._tracer = tracer
+        if tracer is None:
+            self._push = self._queue.push
+            return
+        write = tracer.write
+        push = self._queue.push
+
+        def traced_push(item) -> None:
+            write(
+                {
+                    "k": "sched",
+                    "t": item[0],
+                    "pr": item[1],
+                    "id": item[2],
+                    "e": type(item[3]).__name__,
+                }
+            )
+            push(item)
+
+        self._push = traced_push
+
     def step(self) -> None:
         """Process the next scheduled event.
 
@@ -315,6 +350,8 @@ class Environment:
         -------
         The value of the *until* event if one was given, otherwise ``None``.
         """
+        if self._tracer is not None:
+            return self._run_traced(until)
         stop_event: Optional[Event] = None
         if until is not None:
             if isinstance(until, Event):
@@ -370,6 +407,100 @@ class Environment:
                 if event._ok:
                     # Recycle plain process sleeps: one executed callback,
                     # and that callback was a ``Process._resume``.
+                    if (
+                        type(event) is timeout_cls
+                        and len(callbacks) == 1
+                        and getattr(callbacks[0], "__func__", None) is resume_func
+                    ):
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = pending
+                        pool.append(event)
+                elif not event.defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise RuntimeError(
+                        f"event {event!r} failed with non-exception {exc!r}"
+                    )
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        finally:
+            self._events_processed += processed
+
+    #: Traced loop: a ``queue`` snapshot record every this many events.
+    TRACE_QUEUE_SNAPSHOT_EVERY = 4096
+
+    def _run_traced(self, until: Union[None, float, Event] = None) -> Any:
+        """The instrumented twin of :meth:`run` (tracer attached).
+
+        Same semantics, plus one ``ev`` record per fired event and a
+        ``queue`` snapshot every :data:`TRACE_QUEUE_SNAPSHOT_EVERY` events.
+        Kept as a separate copy of the loop so the untraced hot path pays
+        nothing — not even dead branches — for the instrumentation.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event.value
+                stop_event.callbacks.append(StopSimulation.callback)
+            else:
+                at = float(until)
+                if at == self._now:
+                    return None
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be earlier than the current time ({self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks.append(StopSimulation.callback)
+                self.schedule(stop_event, priority=URGENT, delay=at - self._now)
+
+        pool = self._timeout_pool
+        queue = self._queue
+        pop = queue.pop
+        pending = PENDING
+        timeout_cls = Timeout
+        resume_func = _PROCESS_RESUME
+        write = self._tracer.write
+        snapshot_every = self.TRACE_QUEUE_SNAPSHOT_EVERY
+        processed = 0
+        try:
+            while True:
+                try:
+                    item = pop()
+                except IndexError:
+                    if stop_event is not None and not stop_event.triggered:
+                        raise RuntimeError(
+                            f"no scheduled events left but the until event "
+                            f"{stop_event!r} was never triggered"
+                        ) from None
+                    return None
+                self._now = now = item[0]
+                event = item[3]
+                write({"k": "ev", "t": now, "pr": item[1], "e": type(event).__name__})
+                callbacks = event.callbacks
+                if callbacks is None:  # pragma: no cover - defensive
+                    continue
+                event.callbacks = None
+                processed += 1
+                if not processed % snapshot_every:
+                    write(
+                        {
+                            "k": "queue",
+                            "t": now,
+                            "pending": len(queue),
+                            "processed": self._events_processed + processed,
+                        }
+                    )
+                for callback in callbacks:
+                    callback(event)
+
+                if event._ok:
                     if (
                         type(event) is timeout_cls
                         and len(callbacks) == 1

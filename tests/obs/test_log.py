@@ -1,0 +1,92 @@
+"""Logging setup: level resolution, idempotence, capture-safe stderr."""
+
+from __future__ import annotations
+
+import io
+import logging
+import sys
+
+import pytest
+
+from repro.obs.log import (
+    LOG_LEVEL_ENV,
+    ROOT_LOGGER,
+    _resolve_level,
+    get_logger,
+    setup_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    """Each test gets a pristine ``repro`` logger."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    logger.handlers.clear()
+    yield
+    logger.handlers[:], logger.level, logger.propagate = saved[0], saved[1], saved[2]
+
+
+def test_get_logger_lives_under_repro():
+    assert get_logger().name == ROOT_LOGGER
+    assert get_logger("cli").name == f"{ROOT_LOGGER}.cli"
+    assert get_logger("cli").parent is get_logger()
+
+
+def test_level_defaults_to_warning(monkeypatch):
+    monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+    assert _resolve_level(None, False) == logging.WARNING
+
+
+def test_quiet_beats_everything(monkeypatch):
+    monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+    assert _resolve_level("debug", True) == logging.ERROR
+
+
+def test_explicit_level_beats_environment(monkeypatch):
+    monkeypatch.setenv(LOG_LEVEL_ENV, "error")
+    assert _resolve_level("info", False) == logging.INFO
+
+
+def test_environment_level_applies(monkeypatch):
+    monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+    assert _resolve_level(None, False) == logging.DEBUG
+
+
+def test_numeric_levels_pass_through():
+    assert _resolve_level("15", False) == 15
+
+
+def test_unknown_level_raises():
+    with pytest.raises(ValueError, match="unknown log level"):
+        _resolve_level("loud", False)
+
+
+def test_setup_is_idempotent():
+    first = setup_logging("info")
+    second = setup_logging("debug")
+    assert first is second
+    assert len(first.handlers) == 1
+    assert first.level == logging.DEBUG
+
+
+def test_handler_resolves_stderr_at_emit_time(monkeypatch):
+    logger = setup_logging("info")
+    replacement = io.StringIO()
+    monkeypatch.setattr(sys, "stderr", replacement)
+    logger.warning("hello from the test")
+    assert "WARNING repro: hello from the test" in replacement.getvalue()
+
+
+def test_explicit_stream_pins(monkeypatch):
+    pinned = io.StringIO()
+    logger = setup_logging("info", stream=pinned)
+    monkeypatch.setattr(sys, "stderr", io.StringIO())
+    logger.error("pinned message")
+    assert "pinned message" in pinned.getvalue()
+    assert sys.stderr.getvalue() == ""
+
+
+def test_repro_records_do_not_propagate_to_root():
+    logger = setup_logging("info", stream=io.StringIO())
+    assert logger.propagate is False

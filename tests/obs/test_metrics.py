@@ -1,0 +1,145 @@
+"""The metrics registry: counters, gauges, histograms, snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+def test_counter_counts_up():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.snapshot() == 5
+
+
+def test_counter_rejects_negative_increments():
+    counter = Counter()
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 0
+
+
+def test_counter_zero_increment_is_allowed():
+    counter = Counter()
+    counter.inc(0)
+    assert counter.value == 0
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.inc()
+    gauge.inc(2.5)
+    gauge.dec()
+    assert gauge.snapshot() == pytest.approx(2.5)
+    gauge.set(-3.0)
+    assert gauge.snapshot() == pytest.approx(-3.0)
+
+
+def test_histogram_summary_statistics():
+    histogram = Histogram()
+    for value in (0.5, 1.0, 2.0, 0.25):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(3.75)
+    assert snap["min"] == pytest.approx(0.25)
+    assert snap["max"] == pytest.approx(2.0)
+    assert snap["mean"] == pytest.approx(3.75 / 4)
+    assert sum(snap["buckets"]) == 4
+
+
+def test_histogram_buckets_are_powers_of_two_over_base():
+    histogram = Histogram(base=1.0)
+    # [0, 1) -> bucket 0, [1, 2) -> bucket 1, [2, 4) -> bucket 2, ...
+    histogram.observe(0.5)
+    histogram.observe(1.5)
+    histogram.observe(3.0)
+    histogram.observe(5.0)
+    assert histogram.buckets[:4] == [1, 1, 1, 1]
+
+
+def test_histogram_huge_values_land_in_last_bucket():
+    histogram = Histogram(base=0.001)
+    histogram.observe(1e30)
+    assert histogram.buckets[-1] == 1
+
+
+def test_histogram_snapshot_elides_trailing_empty_buckets():
+    histogram = Histogram(base=1.0)
+    histogram.observe(0.5)
+    assert histogram.snapshot()["buckets"] == [1]
+
+
+def test_histogram_rejects_non_positive_base():
+    with pytest.raises(ValueError):
+        Histogram(base=0.0)
+
+
+def test_registry_get_or_create_is_stable():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_registry_rejects_kind_clashes():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_is_sorted_and_json_shaped():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("z.count").inc(2)
+    registry.gauge("a.depth").set(1.5)
+    registry.histogram("m.lat").observe(0.01)
+    snap = registry.snapshot()
+    assert list(snap) == sorted(snap)
+    assert snap["z.count"] == 2
+    assert snap["a.depth"] == 1.5
+    assert snap["m.lat"]["count"] == 1
+    json.dumps(snap)  # must be wire-able
+
+
+def test_registry_reset_drops_everything():
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    registry.reset()
+    assert registry.snapshot() == {}
+    assert registry.counter("x").value == 0
+
+
+def test_registry_concurrent_creation_yields_one_metric():
+    registry = MetricsRegistry()
+    results = []
+
+    def create():
+        results.append(registry.counter("shared"))
+
+    threads = [threading.Thread(target=create) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(metric is results[0] for metric in results)
+
+
+def test_global_registry_is_a_singleton():
+    assert get_registry() is get_registry()
+    assert isinstance(get_registry(), MetricsRegistry)

@@ -1,0 +1,169 @@
+"""Trace records, sinks, path resolution and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.setup import ExperimentConfig
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    GzipJsonlSink,
+    JsonlSink,
+    NullSink,
+    Tracer,
+    load_trace,
+    open_sink,
+    payload_digest,
+    read_trace,
+    resolve_trace_path,
+    validate_trace,
+)
+
+
+def test_jsonl_sink_round_trip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(JsonlSink(path), meta={"label": "x", "seed": 3})
+    tracer.record("sched", t=1.0, pr=0, id=1, e="Timeout")
+    tracer.record("run_end", t=2.0, events=1, all_done=True, digest="d")
+    tracer.close()
+    records = load_trace(path)
+    assert records[0] == {"k": "header", "schema": TRACE_SCHEMA, "label": "x", "seed": 3}
+    assert records[1]["e"] == "Timeout"
+    assert records[2]["k"] == "run_end"
+    assert validate_trace(records) == []
+
+
+def test_gzip_sink_round_trip_and_suffix_dispatch(tmp_path):
+    path = tmp_path / "t.jsonl.gz"
+    sink = open_sink(path)
+    assert isinstance(sink, GzipJsonlSink)
+    tracer = Tracer(sink)
+    tracer.record("ev", t=1.0, pr=0, e="Event")
+    tracer.close()
+    records = load_trace(path)
+    assert [record["k"] for record in records] == ["header", "ev"]
+
+
+def test_gzip_sink_output_is_name_and_time_independent(tmp_path):
+    def write(path):
+        tracer = Tracer(open_sink(path), meta={"seed": 0})
+        tracer.record("ev", t=1.0, pr=0, e="Event")
+        tracer.close()
+        return path.read_bytes()
+
+    assert write(tmp_path / "a.gz") == write(tmp_path / "differently-named.gz")
+
+
+def test_null_sink_discards():
+    tracer = Tracer(NullSink())
+    tracer.record("ev", t=0.0, pr=0, e="Event")
+    tracer.close()  # nothing to assert beyond "does not raise"
+
+
+def test_canonical_lines_sorted_compact(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    tracer.record("queue", t=5.0, pending=2, processed=10)
+    tracer.close()
+    lines = path.read_text().splitlines()
+    assert lines[1] == '{"k":"queue","pending":2,"processed":10,"t":5.0}'
+
+
+def test_resolve_trace_path_literal_file():
+    assert str(resolve_trace_path("/x/run.jsonl")) == "/x/run.jsonl"
+    assert str(resolve_trace_path("/x/run.gz")) == "/x/run.gz"
+
+
+def test_resolve_trace_path_directory_derives_from_config():
+    config = ExperimentConfig(name="fig7", workload="Wm", seed=4, job_count=8)
+    path = resolve_trace_path("/traces", config)
+    assert str(path).startswith("/traces/")
+    assert str(path).endswith("-seed4.jsonl")
+    assert "fig7" in path.name
+    assert "/" not in path.name  # the label's slash must be sanitised
+
+
+def test_resolve_trace_path_directory_without_config():
+    assert resolve_trace_path("/traces").name == "trace.jsonl"
+
+
+def test_payload_digest_is_deterministic_and_order_free():
+    assert payload_digest({"a": 1, "b": "x"}) == payload_digest({"b": "x", "a": 1})
+    assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+def test_record_hook_reduces_jobs_to_names():
+    from repro.policies.hooks import JobSubmitted
+
+    written = []
+
+    class Sink:
+        def write(self, record):
+            written.append(record)
+
+        def close(self):
+            pass
+
+    class FakeJob:
+        name = "Wm-1-ft-m"
+
+    tracer = Tracer(Sink())
+    tracer.record_hook(JobSubmitted(time=12.5, job=FakeJob()))
+    record = written[-1]
+    assert record["k"] == "hook"
+    assert record["e"] == "job_submitted"
+    assert record["t"] == 12.5
+    assert record["job"] == "Wm-1-ft-m"
+    assert record["digest"] == payload_digest({"job": "Wm-1-ft-m"})
+
+
+def test_read_trace_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"k":"header","schema":1}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        list(read_trace(path))
+
+
+def test_read_trace_skips_blank_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"k":"header","schema":1}\n\n{"k":"ev","t":1.0,"pr":0,"e":"E"}\n')
+    assert len(load_trace(path)) == 2
+
+
+def test_validate_trace_flags_problems():
+    assert validate_trace([]) == ["trace is empty (no header record)"]
+    assert validate_trace([{"k": "ev", "t": 1.0, "e": "E"}])[0].startswith(
+        "record 0: expected a header"
+    )
+    assert "schema" in validate_trace([{"k": "header", "schema": 99}])[0]
+    records = [
+        {"k": "header", "schema": TRACE_SCHEMA},
+        {"k": "nonsense"},
+        {"k": "ev", "e": "E"},  # missing t
+        {"k": "sched", "t": 1.0},  # missing e
+        {"k": "header", "schema": TRACE_SCHEMA},  # header after first
+    ]
+    problems = validate_trace(records)
+    assert len(problems) == 4
+    assert any("unknown kind" in problem for problem in problems)
+    assert any("without a sim-time" in problem for problem in problems)
+    assert any("without an event name" in problem for problem in problems)
+    assert any("header after the first" in problem for problem in problems)
+
+
+def test_validate_trace_caps_problem_list():
+    records = [{"k": "header", "schema": TRACE_SCHEMA}] + [{"k": "zzz"}] * 50
+    problems = validate_trace(records)
+    assert problems[-1].startswith("...")
+    assert len(problems) <= 21
+
+
+def test_trace_records_are_json_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    tracer.record("cache", op="submit", key="k", hit=False)
+    tracer.close()
+    for line in path.read_text().splitlines():
+        assert isinstance(json.loads(line), dict)

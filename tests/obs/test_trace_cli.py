@@ -1,0 +1,135 @@
+"""The ``repro-cli trace`` subcommand: summary, timeline, diff, validate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.cli import diff_traces, summarize_trace, timeline_report
+from repro.obs.trace import TRACE_SCHEMA
+
+
+def _write_trace(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return str(path)
+
+
+def _run_records(seed=0, divergence_at=None):
+    """A small synthetic run trace; *divergence_at* perturbs one record."""
+    records = [
+        {"k": "header", "schema": TRACE_SCHEMA, "label": "X/Wm", "seed": seed},
+        {"k": "run_start", "label": "X/Wm", "seed": seed},
+        {"k": "sched", "t": 0.0, "pr": 0, "id": 1, "e": "Timeout"},
+        {"k": "ev", "t": 10.0, "pr": 0, "e": "Timeout"},
+        {"k": "hook", "t": 10.0, "e": "job_submitted", "digest": "aa", "job": "j1"},
+        {"k": "hook", "t": 20.0, "e": "job_started", "digest": "bb", "job": "j1"},
+        {"k": "hook", "t": 90.0, "e": "job_ended", "digest": "cc", "job": "j1"},
+        {"k": "queue", "t": 90.0, "pending": 3, "processed": 64},
+        {"k": "run_end", "t": 90.0, "events": 2, "all_done": True, "digest": "dd"},
+    ]
+    if divergence_at is not None:
+        records[divergence_at] = dict(records[divergence_at], t=999.0)
+    return records
+
+
+def test_summary_reports_counts_and_metadata():
+    report = summarize_trace(_run_records())
+    assert "9 records" in report
+    assert f"schema {TRACE_SCHEMA}" in report
+    assert "label=X/Wm" in report
+    assert "seed=0" in report
+    assert "job_submitted" in report
+    assert "peak pending events: 3" in report
+    assert "run end: t=90.0" in report
+
+
+def test_timeline_draws_each_job():
+    report = timeline_report(_run_records())
+    assert "j1" in report
+    assert "=" in report  # a running span
+    assert "running jobs" in report
+
+
+def test_timeline_without_hooks_says_so():
+    report = timeline_report([{"k": "header", "schema": TRACE_SCHEMA}])
+    assert "nothing to draw" in report
+
+
+def test_diff_skips_metadata_by_default():
+    a = _run_records(seed=0)
+    b = _run_records(seed=1)  # differs only in header/run_start
+    assert diff_traces(a, b) is None
+    divergence = diff_traces(a, b, include_meta=True)
+    assert divergence is not None and divergence[0] == 0
+
+
+def test_diff_pinpoints_first_divergent_record():
+    a = _run_records()
+    b = _run_records(divergence_at=3)  # the "ev" record, index 1 post-filter
+    divergence = diff_traces(a, b)
+    assert divergence is not None
+    index, ra, rb = divergence
+    assert index == 1
+    assert ra["t"] == 10.0 and rb["t"] == 999.0
+
+
+def test_diff_handles_prefix_traces():
+    a = _run_records()
+    divergence = diff_traces(a, a[:-1])
+    assert divergence is not None
+    index, ra, rb = divergence
+    assert ra is not None and rb is None
+
+
+# -- end-to-end through the repro-cli entry point ------------------------------
+
+
+def test_cli_validate_ok_and_exit_codes(tmp_path, capsys):
+    good = _write_trace(tmp_path / "good.jsonl", _run_records())
+    assert main(["trace", "validate", good]) == 0
+    assert "valid: 9 records" in capsys.readouterr().out
+
+    bad = _write_trace(tmp_path / "bad.jsonl", [{"k": "zzz"}])
+    assert main(["trace", "validate", bad]) == 1
+    assert "invalid:" in capsys.readouterr().err
+
+
+def test_cli_summary_and_timeline(tmp_path, capsys):
+    trace = _write_trace(tmp_path / "t.jsonl", _run_records())
+    assert main(["trace", "summary", trace]) == 0
+    assert "records by kind" in capsys.readouterr().out
+    assert main(["trace", "timeline", trace, "--width", "40"]) == 0
+    assert "job timeline" in capsys.readouterr().out
+
+
+def test_cli_diff_exit_codes(tmp_path, capsys):
+    a = _write_trace(tmp_path / "a.jsonl", _run_records(seed=0))
+    b = _write_trace(tmp_path / "b.jsonl", _run_records(seed=1))
+    c = _write_trace(tmp_path / "c.jsonl", _run_records(seed=1, divergence_at=5))
+
+    assert main(["trace", "diff", a, b]) == 0  # metadata-only difference
+    assert "identical" in capsys.readouterr().out
+
+    assert main(["trace", "diff", a, c]) == 1
+    out = capsys.readouterr().out
+    assert "first divergence at record" in out
+    assert "sim-time" in out
+
+    assert main(["trace", "diff", a, b, "--include-meta"]) == 1
+
+
+def test_cli_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("op", ["summary", "timeline", "validate"])
+def test_cli_garbage_file_is_a_clean_error(tmp_path, capsys, op):
+    path = tmp_path / "garbage.jsonl"
+    path.write_text("this is not json\n")
+    assert main(["trace", op, str(path)]) == 2
+    assert "error:" in capsys.readouterr().err

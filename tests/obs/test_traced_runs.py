@@ -1,0 +1,130 @@
+"""Tracing must observe, never perturb: traced == untraced, always.
+
+The property test sweeps seeds and policies over both kernel event-queue
+backends and requires the traced run's metrics to digest identically to the
+untraced run's — the observability layer is a pure observer.  Same-seed
+traces must additionally be byte-identical files (the foundation of
+``repro-cli trace diff``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.setup import ExperimentConfig, run_experiment
+from repro.obs.trace import load_trace, validate_trace
+
+
+def _digest(result) -> str:
+    return hashlib.sha256(
+        json.dumps(result.metrics.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _config(seed, policy, **overrides):
+    return ExperimentConfig(
+        name="traced-prop",
+        workload="Wm",
+        job_count=6,
+        seed=seed,
+        malleability_policy=policy,
+        **overrides,
+    )
+
+
+@pytest.mark.parametrize("queue", ["calendar", "heap"])
+@settings(
+    max_examples=5, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    policy=st.sampled_from(["FPSMA", "EGS", None]),
+)
+def test_traced_and_untraced_runs_digest_identically(
+    tmp_path_factory, monkeypatch, queue, seed, policy
+):
+    monkeypatch.setenv("REPRO_SIM_QUEUE", queue)
+    target = tmp_path_factory.mktemp("traces") / f"{queue}-{seed}.jsonl"
+    untraced = run_experiment(_config(seed, policy))
+    traced = run_experiment(_config(seed, policy, trace=str(target)))
+    assert _digest(traced) == _digest(untraced)
+    records = load_trace(target)
+    assert validate_trace(records) == []
+    assert records[-1]["k"] == "run_end"
+    assert records[-1]["digest"] == _digest(traced)
+
+
+@pytest.mark.parametrize("queue", ["calendar", "heap"])
+def test_same_seed_traces_are_byte_identical(tmp_path, monkeypatch, queue):
+    monkeypatch.setenv("REPRO_SIM_QUEUE", queue)
+    paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+    for path in paths:
+        run_experiment(_config(3, "FPSMA", trace=str(path)))
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_different_seed_traces_diverge_in_simulation_records(tmp_path):
+    from repro.obs.cli import diff_traces
+
+    paths = {}
+    for seed in (0, 1):
+        paths[seed] = tmp_path / f"seed{seed}.jsonl"
+        run_experiment(_config(seed, "FPSMA", trace=str(paths[seed])))
+    divergence = diff_traces(load_trace(paths[0]), load_trace(paths[1]))
+    assert divergence is not None
+    index, ra, rb = divergence
+    assert ra is not None and rb is not None
+    # The first divergent record is a simulated one, not metadata.
+    assert ra["k"] not in ("header", "run_start")
+
+
+def test_env_var_activates_tracing(tmp_path, monkeypatch):
+    target = tmp_path / "env.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", str(target))
+    run_experiment(_config(0, "FPSMA"))
+    assert target.exists()
+    assert validate_trace(load_trace(target)) == []
+
+
+def test_trace_field_changes_the_cache_key():
+    from repro.experiments.engine import config_key
+
+    plain = _config(0, "FPSMA")
+    traced = _config(0, "FPSMA", trace="/tmp/t.jsonl")
+    assert config_key(plain) != config_key(traced)
+
+
+def test_tracer_detaches_after_the_run(tmp_path):
+    from repro.sim.core import Environment
+
+    run_experiment(_config(0, "FPSMA", trace=str(tmp_path / "t.jsonl")))
+    env = Environment()
+    assert env._tracer is None
+
+
+def test_disabled_tracing_leaves_the_hot_path_untouched():
+    """set_tracer(None) must restore the raw queue-push fast path."""
+    from repro.sim.core import Environment
+
+    env = Environment()
+    assert env._tracer is None
+    assert env._push == env._queue.push
+
+    class Sink:
+        def write(self, record):
+            pass
+
+        def close(self):
+            pass
+
+    from repro.obs.trace import Tracer
+
+    env.set_tracer(Tracer(Sink()))
+    assert env._push != env._queue.push
+    env.set_tracer(None)
+    assert env._push == env._queue.push

@@ -1,0 +1,76 @@
+"""The daemon's ``metrics`` operation and its registry-backed counters."""
+
+from __future__ import annotations
+
+from _helpers import tiny_config
+
+
+def test_metrics_op_returns_all_three_registries(daemon):
+    handle = daemon(workers=1)
+    with handle.client() as client:
+        config = tiny_config(name="metrics-op")
+        client.run_and_wait(config, timeout=300)
+        response = client.metrics()
+    assert response["ok"] is True
+    assert response["op"] == "metrics"
+    assert set(response) >= {"service", "store", "process"}
+    assert response["service"]["service.executions"] == 1
+    assert response["store"]["store.misses"] >= 1
+    assert response["store"]["store.puts"] >= 1
+
+
+def test_op_latency_histograms_accumulate(daemon):
+    handle = daemon(workers=1)
+    with handle.client() as client:
+        client.status()
+        client.status()
+        snapshot = client.metrics()["service"]
+    histogram = snapshot["service.op.status.seconds"]
+    assert histogram["count"] == 2
+    assert histogram["sum"] >= 0.0
+    # The job-latency histogram uses a coarser base; absent until a job ran.
+    assert "service.job.seconds" not in snapshot
+
+
+def test_status_counters_stay_plain_ints(daemon, tiny_record):
+    # Wire back-compat: the registry-backed counters still surface as the
+    # same integer fields `status` always had.
+    handle = daemon(workers=1)
+    with handle.client() as client:
+        status = client.status()
+    assert isinstance(status["executions"], int)
+    assert isinstance(status["coalesced"], int)
+    assert isinstance(status["store_served"], int)
+    assert status["requests"] >= 1
+    assert isinstance(status["jobs"], dict)
+    assert isinstance(status["store"], dict)
+
+
+def test_service_counter_properties_match_registry(daemon):
+    handle = daemon(workers=1)
+    with handle.client() as client:
+        config = tiny_config(name="props")
+        client.run_and_wait(config, timeout=300)
+        client.metrics()
+    service = handle.service
+    snap = service.metrics.snapshot()
+    assert service.executions == snap["service.executions"]
+    assert service.requests == snap["service.requests"]
+    assert service.coalesced == snap.get("service.coalesced", 0)
+    assert service.store_served == snap.get("service.store_served", 0)
+
+
+def test_store_metrics_registry_mirrors_properties(tmp_path):
+    from repro.service import ResultStore
+
+    store = ResultStore(tmp_path / "store")
+    store.get("missing-key")
+    store.put("k", {"config": {}, "metrics": {"makespan": 1.0}})
+    store.get("k")
+    assert store.misses == 1
+    assert store.hits == 1
+    assert store.puts == 1
+    snap = store.metrics.snapshot()
+    assert snap["store.misses"] == 1
+    assert snap["store.hits"] == 1
+    assert snap["store.puts"] == 1
